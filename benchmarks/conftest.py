@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness regenerates the data behind the paper's Tables 1–4.  The
+FileSystem/KVStore row is by far the most expensive (minutes per method, as
+in the paper); it is only exercised when ``PYMARPLE_FULL=1`` is set so that a
+default benchmark run stays within a few minutes.
+"""
+
+import os
+
+import pytest
+
+from repro.suite.registry import all_benchmarks
+
+
+def include_slow() -> bool:
+    return os.environ.get("PYMARPLE_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The benchmark corpus used for the table benchmarks."""
+    return all_benchmarks(include_slow=include_slow())
+
+
+def pytest_report_header(config):
+    scope = "full corpus (PYMARPLE_FULL=1)" if include_slow() else "fast corpus (set PYMARPLE_FULL=1 for FileSystem)"
+    return f"pymarple benchmark harness — {scope}"

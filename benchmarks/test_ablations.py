@@ -1,0 +1,111 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* minterm satisfiability filtering (Algorithm 1's pruning) on/off,
+* DFA minimisation inside the inclusion check on/off,
+* derivative-product inclusion vs complement-intersect-emptiness,
+* infeasible-branch pruning in the checker on/off.
+"""
+
+import pytest
+
+from repro import smt
+from repro.smt.sorts import ELEM
+from repro.sfa import symbolic as S
+from repro.sfa.inclusion import InclusionChecker
+from repro.suite.set_kvstore import set_kvstore
+from repro.typecheck.checker import CheckerConfig
+
+
+def _insert_obligation(bench):
+    """The key inclusion obligation of Set/KVStore's insert method."""
+    library = bench.library
+    put = library.operators["put"]
+    exists = library.operators["exists"]
+    el = smt.var("el", ELEM)
+    x = smt.var("x", ELEM)
+    invariant = bench.invariant
+    not_exists = S.not_(S.eventually(S.event_pinned(put, {"key": x})))
+    exists_false = S.and_(S.event_pinned(exists, {"key": x}, result=smt.FALSE), S.last())
+    context = S.concat(S.and_(invariant, not_exists), exists_false)
+    put_event = S.and_(S.event_pinned(put, {"key": x, "value": x}), S.last())
+    lhs = S.concat(context, put_event)
+    return [smt.TRUE], lhs, invariant
+
+
+@pytest.mark.parametrize("filter_unsat", [True, False], ids=["filtered", "unfiltered"])
+def test_ablation_minterm_filtering(benchmark, filter_unsat):
+    """Algorithm 1's satisfiability filter is needed for *completeness*, not just speed.
+
+    Without it, unsatisfiable characters stay in the alphabet, the abstract
+    language of the context grows, and the (valid) insert obligation is no
+    longer provable — which is exactly what this ablation demonstrates.
+    """
+    bench = set_kvstore()
+    hyps, lhs, rhs = _insert_obligation(bench)
+
+    def run():
+        checker = InclusionChecker(
+            smt.Solver(), bench.library.operators, filter_unsat_minterms=filter_unsat
+        )
+        included = checker.check(hyps, lhs, rhs)
+        return checker.stats, included
+
+    stats, included = benchmark(run)
+    assert included == filter_unsat  # provable only with the minterm filter
+    benchmark.extra_info["obligation proved"] = included
+    benchmark.extra_info["characters kept"] = stats.satisfiable_minterms
+    benchmark.extra_info["avg sFA"] = round(stats.average_transitions, 1)
+
+
+@pytest.mark.parametrize("minimize", [False, True], ids=["raw", "minimized"])
+def test_ablation_dfa_minimization(benchmark, minimize):
+    bench = set_kvstore()
+    hyps, lhs, rhs = _insert_obligation(bench)
+
+    def run():
+        checker = InclusionChecker(smt.Solver(), bench.library.operators, minimize=minimize)
+        assert checker.check(hyps, lhs, rhs)
+        return checker.stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["avg sFA"] = round(stats.average_transitions, 1)
+
+
+@pytest.mark.parametrize("strategy", ["product-walk", "complement-intersect"])
+def test_ablation_inclusion_strategy(benchmark, strategy):
+    """Compare the on-the-fly product inclusion with complement+intersect emptiness."""
+    from repro.sfa.alphabet import build_alphabets
+    from repro.sfa.derivatives import compile_dfa
+
+    bench = set_kvstore()
+    hyps, lhs, rhs = _insert_obligation(bench)
+    solver = smt.Solver()
+    alphabets = build_alphabets(solver, hyps, [lhs, rhs], bench.library.operators)
+
+    def run():
+        for alphabet in alphabets:
+            lhs_dfa = compile_dfa(lhs, alphabet)
+            rhs_dfa = compile_dfa(rhs, alphabet)
+            if strategy == "product-walk":
+                assert lhs_dfa.is_subset_of(rhs_dfa)
+            else:
+                assert lhs_dfa.intersect(rhs_dfa.complement()).is_empty()
+        return len(alphabets)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["prune-infeasible", "check-all-paths"])
+def test_ablation_branch_pruning(benchmark, prune):
+    bench = set_kvstore()
+    config = CheckerConfig(prune_infeasible_branches=prune)
+
+    def run():
+        checker = bench.make_checker(config)
+        result = bench.verify_method("insert", checker)
+        assert result.verified, result.error
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["#SAT"] = result.stats.smt_queries
+    benchmark.extra_info["#FA⊆"] = result.stats.fa_inclusion_checks

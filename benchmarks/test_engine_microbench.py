@@ -1,0 +1,79 @@
+"""Micro-benchmarks for the two engines behind the type checker.
+
+These correspond to the per-query cost components t_SAT and t_FA⊆ of the
+paper's tables: individual SMT validity queries (with method-predicate axiom
+instantiation) and individual symbolic-automata inclusion checks.
+"""
+
+from repro import smt
+from repro.smt.sorts import BYTES, ELEM, PATH
+from repro.libraries.filelib import file_axioms, is_del, is_dir, parent_fn
+from repro.libraries.setlib import make_set
+from repro.sfa import symbolic as S
+from repro.sfa.inclusion import InclusionChecker
+
+
+def test_smt_validity_with_axioms(benchmark):
+    solver = smt.Solver(axioms=file_axioms())
+    stored = smt.declare("mb_stored", [PATH], BYTES)
+    p = smt.var("mb_p", PATH)
+
+    goal = smt.implies(
+        smt.apply(is_dir, smt.apply(stored, smt.apply(parent_fn, p))),
+        smt.not_(smt.apply(is_del, smt.apply(stored, smt.apply(parent_fn, p)))),
+    )
+
+    def run():
+        assert solver.is_valid(goal)
+        return solver.stats.queries
+
+    benchmark(run)
+
+
+def test_smt_unsat_core_query(benchmark):
+    solver = smt.Solver(axioms=file_axioms())
+    b = smt.var("mb_b", BYTES)
+    conflict = smt.and_(smt.apply(is_dir, b), smt.apply(is_del, b))
+
+    def run():
+        assert not solver.is_satisfiable(conflict)
+
+    benchmark(run)
+
+
+def test_sfa_inclusion_insert_once(benchmark):
+    library = make_set(ELEM)
+    insert = library.operators["insert"]
+    el = smt.var("mb_el", ELEM)
+    x = smt.var("mb_x", ELEM)
+    insert_el = S.event_pinned(insert, {"x": el})
+    invariant = S.globally(S.implies(insert_el, S.next_(S.not_(S.eventually(insert_el)))))
+    fresh = S.and_(invariant, S.not_(S.eventually(S.event_pinned(insert, {"x": x}))))
+    effect = S.and_(S.event_pinned(insert, {"x": x}), S.last())
+    lhs = S.concat(fresh, effect)
+
+    def run():
+        checker = InclusionChecker(smt.Solver(), library.operators)
+        assert checker.check([], lhs, invariant)
+        return checker.stats.average_transitions
+
+    benchmark(run)
+
+
+def test_sfa_noninclusion_with_counterexample(benchmark):
+    library = make_set(ELEM)
+    insert = library.operators["insert"]
+    el = smt.var("mb_el2", ELEM)
+    x = smt.var("mb_x2", ELEM)
+    insert_el = S.event_pinned(insert, {"x": el})
+    invariant = S.globally(S.implies(insert_el, S.next_(S.not_(S.eventually(insert_el)))))
+    effect = S.and_(S.event_pinned(insert, {"x": x}), S.last())
+    lhs = S.concat(invariant, effect)  # no freshness check: not included
+
+    def run():
+        checker = InclusionChecker(smt.Solver(), library.operators)
+        result = checker.check_detailed([], lhs, invariant)
+        assert not result.included and result.counterexample
+        return result
+
+    benchmark(run)

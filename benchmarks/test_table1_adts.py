@@ -1,0 +1,42 @@
+"""Table 1 — verify each ADT/library row and report the per-ADT statistics.
+
+Each benchmark verifies *every* method of one corpus row (the paper's
+``t_total`` column); the extra info attached to the benchmark record carries
+the remaining Table 1 columns (#Method, #Ghost, s_I, and the most complex
+method's #Branch/#App/#SAT/#FA⊆/avg s_FA).
+"""
+
+import pytest
+
+from repro.suite.registry import all_benchmarks
+from .conftest import include_slow
+
+
+def _rows():
+    return [(bench.key, bench) for bench in all_benchmarks(include_slow=include_slow())]
+
+
+@pytest.mark.parametrize("key,bench", _rows(), ids=[key for key, _ in _rows()])
+def test_table1_row(benchmark, key, bench):
+    def verify():
+        return bench.verify_all()
+
+    stats = benchmark.pedantic(verify, rounds=1, iterations=1)
+    assert stats.all_verified, [
+        (r.method, r.error) for r in stats.method_results if not r.verified
+    ]
+    row = stats.as_row()
+    benchmark.extra_info.update(
+        {
+            "ADT": stats.adt,
+            "Library": stats.library,
+            "#Method": stats.num_methods,
+            "#Ghost": stats.num_ghosts,
+            "sI": stats.invariant_size,
+            "hardest #Branch": row.get("#Branch"),
+            "hardest #App": row.get("#App"),
+            "hardest #SAT": row.get("#SAT"),
+            "hardest #FA⊆": row.get("#FA⊆"),
+            "hardest avg sFA": row.get("avg. sFA"),
+        }
+    )

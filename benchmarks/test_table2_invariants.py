@@ -1,0 +1,28 @@
+"""Table 2 — the representation-invariant catalogue (descriptive, cheap).
+
+The benchmark measures how long it takes to elaborate every benchmark's
+invariant into its symbolic automaton and to render the Table 2 layout; the
+assertions pin the catalogue's content.
+"""
+
+from repro.evaluation.tables import table2
+from repro.sfa import symbolic
+from repro.suite.registry import all_benchmarks
+
+
+def test_table2_catalogue(benchmark):
+    def build():
+        benchmarks = all_benchmarks()
+        rendered = table2(benchmarks)
+        sizes = {bench.key: symbolic.size(bench.invariant) for bench in benchmarks}
+        return rendered, sizes
+
+    rendered, sizes = benchmark(build)
+    assert "Set" in rendered and "KVStore" in rendered
+    assert "FileSystem" in rendered
+    assert "non-deleted directory" in rendered
+    # every invariant is a non-trivial automaton (the paper's s_I column)
+    assert all(size >= 4 for size in sizes.values())
+    # DFA determinism needs two ghost variables, as in the paper
+    dfa = next(bench for bench in all_benchmarks() if bench.adt == "DFA")
+    assert dfa.num_ghosts == 2

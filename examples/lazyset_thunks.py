@@ -1,0 +1,52 @@
+"""LazySet (Example 4.4): higher-order HATs — thunks that preserve the invariant.
+
+The LazySet ADT delays insertions behind thunks of type
+
+    unit → [I_LSet(el)] unit [I_LSet(el)]
+
+so both the thunk it receives and the thunk it returns must preserve the
+"never insert the same element twice" invariant.  The example verifies the
+whole module (including the function-typed parameters and results), shows the
+rejection of a lazy insert that skips the membership check, and then forces a
+chain of thunks dynamically.
+
+Run with:  python examples/lazyset_thunks.py
+"""
+
+from repro.sfa.events import Trace
+from repro.suite.lazyset_set import LAZY_INSERT_BAD, lazyset_set
+
+
+def main() -> None:
+    bench = lazyset_set()
+    print(f"benchmark: {bench.key}")
+    print(f"invariant: {bench.invariant_description}")
+    print(f"  I_LSet = {bench.invariant}\n")
+
+    checker = bench.make_checker()
+    for method in bench.specs:
+        result = bench.verify_method(method, checker)
+        status = "VERIFIED" if result.verified else f"REJECTED ({result.error})"
+        print(f"{method:>12}: {status}")
+
+    rejected = bench.verify_negative_variant("lazy_insert_bad", checker)
+    print(f"\nlazy_insert_bad (no membership check): verified = {rejected.verified} (expected False)")
+
+    # dynamic part: build a chain of lazy inserts and force it
+    interpreter = bench.interpreter()
+    module = bench.module(interpreter)
+    trace = Trace()
+    thunk = interpreter.call(module["new_thunk"], [()], trace)
+    thunk_value, trace = thunk.value, thunk.trace
+    for element in ["a", "b", "a"]:
+        outcome = interpreter.call(module["lazy_insert"], [element, thunk_value], trace)
+        thunk_value, trace = outcome.value, outcome.trace
+    print(f"\ntrace before forcing: {trace}")
+    forced = interpreter.call(module["force"], [thunk_value], trace)
+    print(f"trace after forcing:  {forced.trace}")
+    inserts = [e.args[0] for e in forced.trace if e.op == "insert"]
+    print(f"inserted elements (each at most once): {inserts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro (pymarple) — a reproduction of "A HAT Trick" (PLDI 2024).
+
+The package verifies *representation invariants* of datatypes implemented on
+top of stateful libraries, using Hoare Automata Types: refinement types whose
+effect component is a pair of symbolic finite automata over the trace of
+library interactions.
+
+Sub-packages
+------------
+``repro.smt``        from-scratch SMT substrate (terms, SAT, EUF, arithmetic)
+``repro.sfa``        symbolic finite automata, minterms, DFA algebra, inclusion
+``repro.lang``       the lambda-E core calculus: parser, MNF desugarer, interpreter
+``repro.types``      refinement types, HATs, typing contexts, subtyping
+``repro.typecheck``  the bidirectional checking algorithm and Abduce
+``repro.libraries``  backing stateful libraries (KVStore, Set, Graph, MemCell)
+``repro.suite``      the benchmark corpus (Table 1/2 rows)
+``repro.evaluation`` the experiment runner and Table 1-4 formatters
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

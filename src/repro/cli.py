@@ -1,0 +1,98 @@
+"""pymarple — the command-line interface of the reproduction.
+
+Usage::
+
+    pymarple list                       # list the benchmark corpus
+    pymarple check Set/KVStore          # verify one ADT/library row
+    pymarple check Set/KVStore --method insert
+    pymarple evaluate [--fast]          # run the whole evaluation (Table 1 data)
+    pymarple table 1|2|3|4 [--fast]     # print a specific paper table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .evaluation import render_all, run_evaluation, table1, table2, table3, table4
+from .suite.registry import all_benchmarks, benchmark_by_key
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for benchmark in all_benchmarks():
+        marker = " (slow)" if benchmark.slow else ""
+        print(f"{benchmark.key:>28}  —  {benchmark.invariant_description}{marker}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    benchmark = benchmark_by_key(args.benchmark)
+    if args.method:
+        result = benchmark.verify_method(args.method)
+        status = "VERIFIED" if result.verified else f"REJECTED: {result.error}"
+        print(f"{benchmark.key}.{args.method}: {status}")
+        print(f"  {result.stats.as_row()}")
+        return 0 if result.verified else 1
+    stats = benchmark.verify_all()
+    for result in stats.method_results:
+        status = "ok" if result.verified else f"FAILED ({result.error})"
+        print(f"  {result.method:>20}: {status}")
+    print(f"{benchmark.key}: all verified = {stats.all_verified}")
+    return 0 if stats.all_verified else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    report = run_evaluation(include_slow=not args.fast)
+    print(render_all(report))
+    print(f"\ntotal wall-clock time: {report.total_time_seconds:.1f} s")
+    ok = report.all_verified and report.all_negatives_rejected
+    print(f"all positive benchmarks verified: {report.all_verified}")
+    print(f"all negative variants rejected:  {report.all_negatives_rejected}")
+    return 0 if ok else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 2:
+        print(table2())
+        return 0
+    report = run_evaluation(include_slow=not args.fast)
+    renderer = {1: table1, 3: table3, 4: table4}[args.number]
+    print(renderer(report))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pymarple",
+        description="Verify representation invariants with Hoare Automata Types",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark corpus").set_defaults(func=_cmd_list)
+
+    check = sub.add_parser("check", help="verify one ADT/library benchmark")
+    check.add_argument("benchmark", help="benchmark key, e.g. Set/KVStore")
+    check.add_argument("--method", help="verify a single method only")
+    check.set_defaults(func=_cmd_check)
+
+    evaluate = sub.add_parser("evaluate", help="run the full evaluation")
+    evaluate.add_argument("--fast", action="store_true", help="skip the slow benchmarks")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    table = sub.add_parser("table", help="print one of the paper's tables")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    table.add_argument("--fast", action="store_true", help="skip the slow benchmarks")
+    table.set_defaults(func=_cmd_table)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

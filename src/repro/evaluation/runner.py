@@ -1,0 +1,100 @@
+"""The experiment runner: verify the corpus and collect the paper's statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..suite.benchmark import AdtBenchmark
+from ..suite.registry import all_benchmarks
+from ..typecheck.checker import CheckerConfig
+from ..typecheck.stats import AdtStats, MethodResult
+
+
+@dataclass
+class NegativeResult:
+    """Outcome of checking a known-incorrect variant (must *not* verify)."""
+
+    benchmark: str
+    variant: str
+    rejected: bool
+    error: Optional[str]
+
+
+@dataclass
+class EvaluationReport:
+    """Everything needed to regenerate Tables 1–4."""
+
+    adt_stats: list[AdtStats] = field(default_factory=list)
+    negative_results: list[NegativeResult] = field(default_factory=list)
+    total_time_seconds: float = 0.0
+
+    @property
+    def all_verified(self) -> bool:
+        return all(stats.all_verified for stats in self.adt_stats)
+
+    @property
+    def all_negatives_rejected(self) -> bool:
+        return all(result.rejected for result in self.negative_results)
+
+    def per_method_rows(self) -> list[dict[str, object]]:
+        rows: list[dict[str, object]] = []
+        for stats in self.adt_stats:
+            for result in stats.method_results:
+                row = {
+                    "Datatype": stats.adt,
+                    "Library": stats.library,
+                    "#Ghost": stats.num_ghosts,
+                    "sI": stats.invariant_size,
+                    "verified": result.verified,
+                }
+                row.update(result.stats.as_row())
+                rows.append(row)
+        return rows
+
+
+def run_benchmark(
+    benchmark: AdtBenchmark,
+    *,
+    config: Optional[CheckerConfig] = None,
+    check_negative_variants: bool = True,
+) -> tuple[AdtStats, list[NegativeResult]]:
+    """Verify one ADT/library row plus its known-bad variants."""
+    checker = benchmark.make_checker(config)
+    stats = benchmark.verify_all(checker)
+    negatives: list[NegativeResult] = []
+    if check_negative_variants:
+        for variant in benchmark.negative_variants:
+            result = benchmark.verify_negative_variant(variant, checker)
+            negatives.append(
+                NegativeResult(
+                    benchmark=benchmark.key,
+                    variant=variant,
+                    rejected=not result.verified,
+                    error=result.error,
+                )
+            )
+    return stats, negatives
+
+
+def run_evaluation(
+    benchmarks: Optional[Sequence[AdtBenchmark]] = None,
+    *,
+    include_slow: bool = True,
+    config: Optional[CheckerConfig] = None,
+    check_negative_variants: bool = True,
+) -> EvaluationReport:
+    """Verify the whole corpus, mirroring the experiments behind Table 1."""
+    if benchmarks is None:
+        benchmarks = all_benchmarks(include_slow=include_slow)
+    report = EvaluationReport()
+    start = time.perf_counter()
+    for benchmark in benchmarks:
+        stats, negatives = run_benchmark(
+            benchmark, config=config, check_negative_variants=check_negative_variants
+        )
+        report.adt_stats.append(stats)
+        report.negative_results.extend(negatives)
+    report.total_time_seconds = time.perf_counter() - start
+    return report

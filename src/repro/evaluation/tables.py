@@ -1,0 +1,127 @@
+"""Formatters that render the evaluation results in the layout of Tables 1–4."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..suite.benchmark import AdtBenchmark
+from ..suite.registry import all_benchmarks
+from .runner import EvaluationReport
+
+
+def _render(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    out = [line(headers), "-+-".join("-" * w for w in widths)]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+TABLE1_COLUMNS = [
+    "ADT",
+    "Library",
+    "#Method",
+    "#Ghost",
+    "sI",
+    "ttotal (s)",
+    "#Branch",
+    "#App",
+    "#SAT",
+    "#FA⊆",
+    "avg. sFA",
+    "tSAT (s)",
+    "tFA⊆ (s)",
+    "verified",
+]
+
+
+def table1(report: EvaluationReport) -> str:
+    """Table 1: per-ADT summary plus the most complex method's statistics."""
+    rows = []
+    for stats in report.adt_stats:
+        row = stats.as_row()
+        rows.append([row.get(column, "") for column in TABLE1_COLUMNS])
+    return _render(TABLE1_COLUMNS, rows)
+
+
+TABLE2_COLUMNS = ["Client ADT", "Underlying Library", "Representation invariant / policy"]
+
+
+def table2(benchmarks: Optional[Sequence[AdtBenchmark]] = None) -> str:
+    """Table 2: the representation invariants of the corpus (descriptive)."""
+    if benchmarks is None:
+        benchmarks = all_benchmarks()
+    rows = [
+        [benchmark.adt, benchmark.library_name, benchmark.invariant_description]
+        for benchmark in benchmarks
+    ]
+    return _render(TABLE2_COLUMNS, rows)
+
+
+TABLE34_COLUMNS = [
+    "Datatype",
+    "Library",
+    "#Ghost",
+    "sI",
+    "Method",
+    "#Branch",
+    "#App",
+    "#SAT",
+    "#Inc",
+    "avg. sFA",
+    "tSAT (s)",
+    "tInc (s)",
+    "verified",
+]
+
+#: The split of ADTs between the paper's Table 3 and Table 4.
+TABLE3_ADTS = ("Stack", "Set", "Queue", "MinSet", "LazySet")
+TABLE4_ADTS = ("Heap", "FileSystem", "DFA", "ConnectedGraph")
+
+
+def _per_method_table(report: EvaluationReport, adts: Sequence[str]) -> str:
+    rows = []
+    for row in report.per_method_rows():
+        if row["Datatype"] not in adts:
+            continue
+        rows.append([row.get(column, "") for column in TABLE34_COLUMNS])
+    return _render(TABLE34_COLUMNS, rows)
+
+
+def table3(report: EvaluationReport) -> str:
+    """Table 3: per-method details for the first half of the corpus."""
+    return _per_method_table(report, TABLE3_ADTS)
+
+
+def table4(report: EvaluationReport) -> str:
+    """Table 4: per-method details for the second half of the corpus."""
+    return _per_method_table(report, TABLE4_ADTS)
+
+
+def negatives_table(report: EvaluationReport) -> str:
+    """Rejection results for the known-incorrect variants (Example 2.1 etc.)."""
+    headers = ["Benchmark", "Variant", "Rejected"]
+    rows = [
+        [result.benchmark, result.variant, result.rejected]
+        for result in report.negative_results
+    ]
+    return _render(headers, rows)
+
+
+def render_all(report: EvaluationReport) -> str:
+    sections = [
+        ("Table 1 — per-ADT summary", table1(report)),
+        ("Table 2 — representation invariants", table2()),
+        ("Table 3 — per-method details (Stack/Set/Queue/MinSet/LazySet)", table3(report)),
+        ("Table 4 — per-method details (Heap/FileSystem/DFA/ConnectedGraph)", table4(report)),
+        ("Known-incorrect variants", negatives_table(report)),
+    ]
+    blocks = []
+    for title, body in sections:
+        blocks.append(f"== {title} ==\n{body}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,128 @@
+"""Pure path/byte helpers used by the FileSystem benchmark (Fig. 1).
+
+These are the ``Path`` and ``File`` modules of the paper's motivating
+example: pure functions over opaque paths and byte blobs (``Path.parent``,
+``File.isDir``, ``File.addChild``, ...).  Their logical meaning is given by
+uninterpreted functions, method predicates and a small set of FOL lemmas
+(Sec. 6); their concrete meaning — used by the interpreter and the dynamic
+invariant checks — operates on Python strings and dictionaries.
+"""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, BYTES, PATH
+from ..types.context import PureOpContext, PureOpSpec, uninterpreted_pure_op
+from .base import Library
+from ..sfa.signatures import OperatorRegistry
+from ..types.context import BuiltinContext
+
+# -- logical symbols --------------------------------------------------------------------
+
+parent_fn = smt.declare("parent", [PATH], PATH)
+is_root = smt.declare("isRoot", [PATH], BOOL, method_predicate=True)
+is_dir = smt.declare("isDir", [BYTES], BOOL, method_predicate=True)
+is_file = smt.declare("isFile", [BYTES], BOOL, method_predicate=True)
+is_del = smt.declare("isDel", [BYTES], BOOL, method_predicate=True)
+add_child_fn = smt.declare("addChild", [BYTES, PATH], BYTES)
+del_child_fn = smt.declare("delChild", [BYTES, PATH], BYTES)
+set_deleted_fn = smt.declare("setDeleted", [BYTES], BYTES)
+init_bytes_fn = smt.declare("initBytes", [], BYTES)
+
+ROOT_PATH = smt.data_const("/", PATH)
+
+
+def file_axioms() -> list[smt.Axiom]:
+    """The FOL lemmas giving meaning to the byte-kind method predicates."""
+    b = smt.var("ax_bytes", BYTES)
+    p = smt.var("ax_path", PATH)
+    axioms = [
+        smt.axiom("dir-not-file", [b], smt.implies(smt.apply(is_dir, b), smt.not_(smt.apply(is_file, b)))),
+        smt.axiom("dir-not-del", [b], smt.implies(smt.apply(is_dir, b), smt.not_(smt.apply(is_del, b)))),
+        smt.axiom("file-not-del", [b], smt.implies(smt.apply(is_file, b), smt.not_(smt.apply(is_del, b)))),
+        smt.axiom(
+            "kind-exhaustive",
+            [b],
+            smt.or_(smt.apply(is_dir, b), smt.apply(is_file, b), smt.apply(is_del, b)),
+        ),
+        smt.axiom("addChild-is-dir", [b, p], smt.apply(is_dir, smt.apply(add_child_fn, b, p))),
+        smt.axiom("delChild-is-dir", [b, p], smt.apply(is_dir, smt.apply(del_child_fn, b, p))),
+        smt.axiom("setDeleted-is-del", [b], smt.apply(is_del, smt.apply(set_deleted_fn, b))),
+        smt.axiom("init-is-dir", [], smt.apply(is_dir, smt.apply(init_bytes_fn))),
+    ]
+    return axioms
+
+
+def file_pure_ops() -> PureOpContext:
+    pure = PureOpContext()
+    pure.declare("Path.parent", parent_fn)
+    pure.declare("Path.isRoot", is_root)
+    pure.declare("File.isDir", is_dir)
+    pure.declare("File.isFile", is_file)
+    pure.declare("File.isDel", is_del)
+    pure.declare("File.addChild", add_child_fn)
+    pure.declare("File.delChild", del_child_fn)
+    pure.declare("File.setDeleted", set_deleted_fn)
+
+    def init_qualifier(binder, args):
+        return smt.eq(binder, smt.apply(init_bytes_fn))
+
+    pure.add(PureOpSpec("File.init", (), BYTES, init_qualifier))
+    return pure
+
+
+# -- concrete meanings --------------------------------------------------------------------
+
+
+def concrete_parent(path: str) -> str:
+    if path == "/":
+        return "/"
+    stripped = path.rstrip("/")
+    head = stripped.rsplit("/", 1)[0]
+    return head or "/"
+
+
+def concrete_is_root(path: str) -> bool:
+    return path == "/"
+
+
+def _bytes(kind: str, children=()) -> dict:
+    return {"kind": kind, "children": tuple(children)}
+
+
+def file_pure_impls() -> dict:
+    return {
+        "Path.parent": concrete_parent,
+        "Path.isRoot": concrete_is_root,
+        "parent": concrete_parent,
+        "isRoot": concrete_is_root,
+        # `File.init ()` is applied to a unit argument in the surface syntax
+        "File.init": lambda *_args: _bytes("dir"),
+        "initBytes": lambda *_args: _bytes("dir"),
+        "File.isDir": lambda b: b["kind"] == "dir",
+        "isDir": lambda b: b["kind"] == "dir",
+        "File.isFile": lambda b: b["kind"] == "file",
+        "isFile": lambda b: b["kind"] == "file",
+        "File.isDel": lambda b: b["kind"] == "del",
+        "isDel": lambda b: b["kind"] == "del",
+        "File.addChild": lambda b, p: _bytes("dir", tuple(b["children"]) + (p,)),
+        "addChild": lambda b, p: _bytes("dir", tuple(b["children"]) + (p,)),
+        "File.delChild": lambda b, p: _bytes("dir", tuple(c for c in b["children"] if c != p)),
+        "delChild": lambda b, p: _bytes("dir", tuple(c for c in b["children"] if c != p)),
+        "File.setDeleted": lambda b: _bytes("del", b["children"]),
+        "setDeleted": lambda b: _bytes("del", b["children"]),
+    }
+
+
+def make_file_helpers() -> Library:
+    """A pure-only 'library' bundling the Path/File helpers (no effectful ops)."""
+    return Library(
+        name="FileHelpers",
+        operators=OperatorRegistry(),
+        delta=BuiltinContext(),
+        pure_ops=file_pure_ops(),
+        axioms=tuple(file_axioms()),
+        constants={"/": ROOT_PATH},
+        pure_impls=file_pure_impls(),
+        predicate_impls={},
+    )

@@ -1,0 +1,204 @@
+"""The stateful Graph library used by the DFA and ConnectedGraph benchmarks.
+
+Operators::
+
+    add_node   : Node -> unit
+    connect    : Node -> Char -> Node -> unit      (add a labelled edge)
+    disconnect : Node -> Char -> Node -> unit      (remove a labelled edge)
+    is_node    : Node -> bool
+    connected  : Node -> Char -> bool              (is there a live outgoing edge?)
+
+``connected`` and ``is_node`` are intersection types discriminating on the
+corresponding trace predicates, in the same style as ``exists`` for KVStore.
+"""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, UNIT, Sort
+from ..sfa import symbolic
+from ..sfa.signatures import OperatorRegistry
+from ..sfa.symbolic import Sfa
+from ..types.context import BuiltinContext, PureOpContext
+from ..types.rtypes import FunType, HatType, Intersection, RefinementType, base, nu
+from .base import Library
+
+
+def node_predicate(operators: OperatorRegistry, node: smt.Term) -> Sfa:
+    """P_node(n) ≐ ♦⟨add_node ∼n⟩."""
+    return symbolic.eventually(symbolic.event_pinned(operators["add_node"], {"n": node}))
+
+
+def live_edge_predicate(operators: OperatorRegistry, node: smt.Term, char: smt.Term) -> Sfa:
+    """P_out(n, c) ≐ ♦(⟨connect ∼n ∼c _⟩ ∧ ◯ □ ¬⟨disconnect ∼n ∼c _⟩)."""
+    connect = operators["connect"]
+    disconnect = operators["disconnect"]
+    established = symbolic.event(
+        connect,
+        smt.and_(smt.eq(connect.arg_vars[0], node), smt.eq(connect.arg_vars[1], char)),
+    )
+    removed = symbolic.event(
+        disconnect,
+        smt.and_(smt.eq(disconnect.arg_vars[0], node), smt.eq(disconnect.arg_vars[1], char)),
+    )
+    return symbolic.eventually(
+        symbolic.and_(established, symbolic.next_(symbolic.globally(symbolic.not_(removed))))
+    )
+
+
+def _single_event(precondition: Sfa, event: Sfa) -> Sfa:
+    return symbolic.concat(precondition, symbolic.and_(event, symbolic.last()))
+
+
+def make_graph(node_sort: Sort, char_sort: Sort, *, name: str = "Graph") -> Library:
+    operators = OperatorRegistry()
+    add_node = operators.declare("add_node", [("n", node_sort)], UNIT)
+    connect = operators.declare(
+        "connect", [("src", node_sort), ("char", char_sort), ("dst", node_sort)], UNIT
+    )
+    disconnect = operators.declare(
+        "disconnect", [("src", node_sort), ("char", char_sort), ("dst", node_sort)], UNIT
+    )
+    is_node = operators.declare("is_node", [("n", node_sort)], BOOL)
+    connected = operators.declare("connected", [("src", node_sort), ("char", char_sort)], BOOL)
+
+    n_param = smt.var("n", node_sort)
+    src_param = smt.var("src", node_sort)
+    char_param = smt.var("char", char_sort)
+    dst_param = smt.var("dst", node_sort)
+    delta = BuiltinContext()
+
+    def any_context_op(op_name, params, event):
+        result = HatType(
+            precondition=symbolic.any_trace(),
+            result=base(UNIT),
+            postcondition=_single_event(symbolic.any_trace(), event),
+        )
+        ty = result
+        for pname, psort in reversed(params):
+            ty = FunType(pname, base(psort), ty)
+        delta.add(op_name, ty)
+
+    any_context_op(
+        "add_node", [("n", node_sort)], symbolic.event_pinned(add_node, {"n": n_param})
+    )
+    any_context_op(
+        "connect",
+        [("src", node_sort), ("char", char_sort), ("dst", node_sort)],
+        symbolic.event_pinned(connect, {"src": src_param, "char": char_param, "dst": dst_param}),
+    )
+    any_context_op(
+        "disconnect",
+        [("src", node_sort), ("char", char_sort), ("dst", node_sort)],
+        symbolic.event_pinned(
+            disconnect, {"src": src_param, "char": char_param, "dst": dst_param}
+        ),
+    )
+
+    p_node = node_predicate(operators, n_param)
+    delta.add(
+        "is_node",
+        FunType(
+            "n",
+            base(node_sort),
+            Intersection(
+                (
+                    HatType(
+                        precondition=p_node,
+                        result=RefinementType(BOOL, smt.eq(nu(BOOL), smt.TRUE)),
+                        postcondition=_single_event(
+                            p_node,
+                            symbolic.event_pinned(is_node, {"n": n_param}, result=smt.TRUE),
+                        ),
+                    ),
+                    HatType(
+                        precondition=symbolic.not_(p_node),
+                        result=RefinementType(BOOL, smt.eq(nu(BOOL), smt.FALSE)),
+                        postcondition=_single_event(
+                            symbolic.not_(p_node),
+                            symbolic.event_pinned(is_node, {"n": n_param}, result=smt.FALSE),
+                        ),
+                    ),
+                )
+            ),
+        ),
+    )
+
+    p_out = live_edge_predicate(operators, src_param, char_param)
+    delta.add(
+        "connected",
+        FunType(
+            "src",
+            base(node_sort),
+            FunType(
+                "char",
+                base(char_sort),
+                Intersection(
+                    (
+                        HatType(
+                            precondition=p_out,
+                            result=RefinementType(BOOL, smt.eq(nu(BOOL), smt.TRUE)),
+                            postcondition=_single_event(
+                                p_out,
+                                symbolic.event_pinned(
+                                    connected,
+                                    {"src": src_param, "char": char_param},
+                                    result=smt.TRUE,
+                                ),
+                            ),
+                        ),
+                        HatType(
+                            precondition=symbolic.not_(p_out),
+                            result=RefinementType(BOOL, smt.eq(nu(BOOL), smt.FALSE)),
+                            postcondition=_single_event(
+                                symbolic.not_(p_out),
+                                symbolic.event_pinned(
+                                    connected,
+                                    {"src": src_param, "char": char_param},
+                                    result=smt.FALSE,
+                                ),
+                            ),
+                        ),
+                    )
+                ),
+            ),
+        ),
+    )
+
+    # -- concrete trace semantics ---------------------------------------------------------
+    def add_node_rule(trace, args):
+        return ()
+
+    def connect_rule(trace, args):
+        return ()
+
+    def disconnect_rule(trace, args):
+        return ()
+
+    def is_node_rule(trace, args):
+        node = args[0]
+        return trace.any_event("add_node", lambda e: e.args[0] == node)
+
+    def connected_rule(trace, args):
+        src, char = args
+        live = set()
+        for event in trace:
+            if event.op == "connect" and event.args[0] == src and event.args[1] == char:
+                live.add(event.args[2])
+            elif event.op == "disconnect" and event.args[0] == src and event.args[1] == char:
+                live.discard(event.args[2])
+        return bool(live)
+
+    return Library(
+        name=name,
+        operators=operators,
+        delta=delta,
+        pure_ops=PureOpContext(),
+        model_rules={
+            "add_node": add_node_rule,
+            "connect": connect_rule,
+            "disconnect": disconnect_rule,
+            "is_node": is_node_rule,
+            "connected": connected_rule,
+        },
+    )

@@ -1,0 +1,84 @@
+"""The stateful Set library (Example 4.3 / 4.4): ``insert`` and ``mem``."""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, UNIT, Sort
+from ..sfa import symbolic
+from ..sfa.signatures import OperatorRegistry
+from ..sfa.symbolic import Sfa
+from ..types.context import BuiltinContext, PureOpContext
+from ..types.rtypes import FunType, HatType, Intersection, RefinementType, base, nu
+from .base import Library
+
+
+def member_predicate(operators: OperatorRegistry, element: smt.Term) -> Sfa:
+    """P_member(x) ≐ ♦⟨insert ∼x⟩."""
+    return symbolic.eventually(symbolic.event_pinned(operators["insert"], {"x": element}))
+
+
+def _single_event(precondition: Sfa, event: Sfa) -> Sfa:
+    return symbolic.concat(precondition, symbolic.and_(event, symbolic.last()))
+
+
+def make_set(elem_sort: Sort, *, name: str = "Set") -> Library:
+    operators = OperatorRegistry()
+    insert = operators.declare("insert", [("x", elem_sort)], UNIT)
+    mem = operators.declare("mem", [("x", elem_sort)], BOOL)
+
+    x_param = smt.var("x", elem_sort)
+    delta = BuiltinContext()
+
+    insert_event = symbolic.event_pinned(insert, {"x": x_param})
+    delta.add(
+        "insert",
+        FunType(
+            "x",
+            base(elem_sort),
+            HatType(
+                precondition=symbolic.any_trace(),
+                result=base(UNIT),
+                postcondition=_single_event(symbolic.any_trace(), insert_event),
+            ),
+        ),
+    )
+
+    p_member = member_predicate(operators, x_param)
+    mem_true = symbolic.event_pinned(mem, {"x": x_param}, result=smt.TRUE)
+    mem_false = symbolic.event_pinned(mem, {"x": x_param}, result=smt.FALSE)
+    delta.add(
+        "mem",
+        FunType(
+            "x",
+            base(elem_sort),
+            Intersection(
+                (
+                    HatType(
+                        precondition=p_member,
+                        result=RefinementType(BOOL, smt.eq(nu(BOOL), smt.TRUE)),
+                        postcondition=_single_event(p_member, mem_true),
+                    ),
+                    HatType(
+                        precondition=symbolic.not_(p_member),
+                        result=RefinementType(BOOL, smt.eq(nu(BOOL), smt.FALSE)),
+                        postcondition=_single_event(symbolic.not_(p_member), mem_false),
+                    ),
+                )
+            ),
+        ),
+    )
+
+    def insert_rule(trace, args):
+        return ()
+
+    def mem_rule(trace, args):
+        element = args[0]
+        return trace.any_event("insert", lambda e: e.args[0] == element)
+
+    return Library(
+        name=name,
+        operators=operators,
+        delta=delta,
+        pure_ops=PureOpContext(),
+        model_rules={"insert": insert_rule, "mem": mem_rule},
+    )

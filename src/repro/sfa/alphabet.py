@@ -1,0 +1,295 @@
+"""Minterm construction and alphabet transformation (Sec. 5.1, Algorithms 1–2).
+
+Symbolic automata have an unbounded alphabet of events ``op v̄ = v``.  The
+inclusion check finitises it:
+
+1. collect the qualifier *literals* appearing in the automata, split into
+   **context literals** (mentioning only typing-context variables — ghost
+   variables, function parameters) and **event literals** (mentioning the
+   formal argument/result variables of some operator);
+2. enumerate the satisfiable boolean combinations of the context literals —
+   each combination is one *context case* (the ``φ_Γ`` loop of Algorithm 1);
+3. within a context case, for each operator enumerate the satisfiable boolean
+   combinations of its event literals: these are the **minterms**, and each
+   becomes one character of the finite alphabet.
+
+Satisfiability is discharged by :class:`repro.smt.Solver`, which is where the
+``#SAT`` statistic of the paper's tables comes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .. import smt
+from ..smt.terms import Term
+from . import symbolic
+from .signatures import EventSignature, OperatorRegistry
+from .symbolic import Sfa
+
+
+class AlphabetError(RuntimeError):
+    """Raised when the literal sets are too large to enumerate."""
+
+
+@dataclass(frozen=True)
+class LiteralSets:
+    """Literals collected from a group of symbolic automata."""
+
+    context_literals: tuple[Term, ...]
+    event_literals: Mapping[str, tuple[Term, ...]]
+
+    def total(self) -> int:
+        return len(self.context_literals) + sum(len(v) for v in self.event_literals.values())
+
+
+def collect_literals(
+    formulas: Sequence[Sfa],
+    operators: OperatorRegistry,
+    extra_context_literals: Iterable[Term] = (),
+) -> LiteralSets:
+    """Split the atoms of the automata qualifiers into context/event literals.
+
+    Besides the atoms that literally occur in the qualifiers, the context
+    literal set is closed under *pinned-term equalities*: whenever two context
+    terms ``t₁`` and ``t₂`` are both pinned to the same formal variable of the
+    same operator (``key = t₁`` in one atom, ``key = t₂`` in another), the
+    equality ``t₁ = t₂`` is added as a context literal.  Splitting on these
+    equalities keeps the truth of per-character facts consistent *across* the
+    characters of one abstract trace, which the FA abstraction would otherwise
+    lose (and without which valid inclusions such as the Set-on-KVStore
+    uniqueness invariant would be rejected).
+    """
+    context: dict[Term, None] = {}
+    per_op: dict[str, dict[Term, None]] = {sig.name: {} for sig in operators}
+    #: (operator, formal) -> context terms pinned to that formal
+    pinned: dict[tuple[str, int], dict[Term, None]] = {}
+
+    for literal in extra_context_literals:
+        context.setdefault(literal, None)
+
+    for formula in formulas:
+        for node in formula.walk():
+            if node.kind == symbolic.K_EVENT:
+                signature, phi = node.payload
+                formals = set(signature.formals)
+                bucket = per_op.setdefault(signature.name, {})
+                for atom in smt.atoms(phi):
+                    if atom.free_vars() & formals:
+                        bucket.setdefault(atom, None)
+                        _record_pinned(pinned, signature, atom)
+                    else:
+                        context.setdefault(atom, None)
+            elif node.kind == symbolic.K_GUARD:
+                for atom in smt.atoms(node.payload):
+                    context.setdefault(atom, None)
+
+    for terms_for_slot in pinned.values():
+        slot_terms = list(terms_for_slot)
+        for i in range(len(slot_terms)):
+            for j in range(i + 1, len(slot_terms)):
+                equality = smt.eq(slot_terms[i], slot_terms[j])
+                if not (equality.is_true or equality.is_false):
+                    context.setdefault(equality, None)
+
+    return LiteralSets(
+        context_literals=tuple(context),
+        event_literals={name: tuple(bucket) for name, bucket in per_op.items()},
+    )
+
+
+def _record_pinned(
+    pinned: dict[tuple[str, int], dict[Term, None]],
+    signature: EventSignature,
+    atom: Term,
+) -> None:
+    """Record ``formal = context-term`` equations for the pinned-equality closure."""
+    from ..smt import terms as t
+
+    if atom.kind != t.EQ:
+        return
+    lhs, rhs = atom.children
+    formals = list(signature.formals)
+    for formal_side, other in ((lhs, rhs), (rhs, lhs)):
+        if formal_side in formals and not (other.free_vars() & set(formals)):
+            slot = (signature.name, formals.index(formal_side))
+            pinned.setdefault(slot, {}).setdefault(other, None)
+
+
+@dataclass(frozen=True)
+class Character:
+    """One character of the finitised alphabet: an operator plus a minterm."""
+
+    signature: EventSignature
+    literal_values: tuple[tuple[Term, bool], ...]
+
+    def truth(self) -> dict[Term, bool]:
+        return dict(self.literal_values)
+
+    def formula(self) -> Term:
+        """The conjunction of signed literals defining this minterm."""
+        parts = [lit if value else smt.not_(lit) for lit, value in self.literal_values]
+        return smt.and_(*parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bits = ", ".join(
+            f"{'+' if value else '-'}{lit!r}" for lit, value in self.literal_values
+        )
+        return f"⟨{self.signature.name} | {bits or '⊤'}⟩"
+
+
+@dataclass
+class Alphabet:
+    """A finite alphabet valid under one context case."""
+
+    context_case: tuple[tuple[Term, bool], ...]
+    characters: tuple[Character, ...]
+
+    def context_truth(self) -> dict[Term, bool]:
+        return dict(self.context_case)
+
+    def context_formula(self) -> Term:
+        parts = [lit if value else smt.not_(lit) for lit, value in self.context_case]
+        return smt.and_(*parts)
+
+    def __len__(self) -> int:
+        return len(self.characters)
+
+    def index_of(self, character: Character) -> int:
+        return self.characters.index(character)
+
+
+@dataclass
+class AlphabetStats:
+    """Bookkeeping for the evaluation tables."""
+
+    context_cases: int = 0
+    minterm_candidates: int = 0
+    satisfiable_minterms: int = 0
+
+
+def _signed_combinations(literals: Sequence[Term]) -> Iterable[tuple[tuple[Term, bool], ...]]:
+    if not literals:
+        yield ()
+        return
+    for bits in itertools.product((True, False), repeat=len(literals)):
+        yield tuple(zip(literals, bits))
+
+
+def _satisfiable_combinations(
+    solver: smt.Solver,
+    base_formula: Term,
+    literals: Sequence[Term],
+    stats: "AlphabetStats",
+    *,
+    count_candidates: bool,
+) -> Iterable[tuple[tuple[Term, bool], ...]]:
+    """Enumerate the satisfiable signed combinations of ``literals``.
+
+    The enumeration prunes whole subtrees whose partial conjunction is already
+    unsatisfiable, which keeps the number of SMT queries close to the number
+    of *satisfiable* minterms rather than 2^n.
+    """
+
+    def recurse(index: int, chosen: tuple[tuple[Term, bool], ...], formula: Term):
+        if index == len(literals):
+            if count_candidates:
+                stats.minterm_candidates += 1
+            yield chosen
+            return
+        literal = literals[index]
+        for value in (True, False):
+            signed = literal if value else smt.not_(literal)
+            extended = smt.and_(formula, signed)
+            if not solver.is_satisfiable(extended):
+                if count_candidates:
+                    stats.minterm_candidates += 2 ** (len(literals) - index - 1)
+                continue
+            yield from recurse(index + 1, chosen + ((literal, value),), extended)
+
+    if not literals:
+        if solver.is_satisfiable(base_formula):
+            if count_candidates:
+                stats.minterm_candidates += 1
+            yield ()
+        return
+    yield from recurse(0, (), base_formula)
+
+
+def build_alphabets(
+    solver: smt.Solver,
+    hypotheses: Sequence[Term],
+    formulas: Sequence[Sfa],
+    operators: OperatorRegistry,
+    *,
+    extra_context_literals: Iterable[Term] = (),
+    max_literals: int = 14,
+    filter_unsat: bool = True,
+    stats: Optional[AlphabetStats] = None,
+) -> list[Alphabet]:
+    """Build one finite alphabet per satisfiable context case.
+
+    ``hypotheses`` are the typing-context facts Γ (already instantiated);
+    they are conjoined to every satisfiability query but, unlike the context
+    literals of the automata, are not case-split (an optimisation over the
+    literal reading of Algorithm 1 that preserves completeness because a
+    hypothesis has a fixed truth value in every model of Γ).
+
+    ``filter_unsat=False`` disables minterm pruning; it exists for the
+    ablation benchmark showing why Algorithm 1's satisfiability filter
+    matters.
+    """
+    stats = stats if stats is not None else AlphabetStats()
+    literal_sets = collect_literals(formulas, operators, extra_context_literals)
+    if len(literal_sets.context_literals) > max_literals:
+        raise AlphabetError(
+            f"{len(literal_sets.context_literals)} context literals exceed the "
+            f"enumeration budget of {max_literals}"
+        )
+    for name, lits in literal_sets.event_literals.items():
+        if len(lits) > max_literals:
+            raise AlphabetError(
+                f"operator {name} has {len(lits)} event literals, exceeding the "
+                f"enumeration budget of {max_literals}"
+            )
+
+    hypothesis_formula = smt.and_(*hypotheses)
+    alphabets: list[Alphabet] = []
+
+    if filter_unsat:
+        context_cases = _satisfiable_combinations(
+            solver,
+            hypothesis_formula,
+            literal_sets.context_literals,
+            stats,
+            count_candidates=False,
+        )
+    else:
+        context_cases = _signed_combinations(literal_sets.context_literals)
+
+    for context_case in context_cases:
+        context_formula = smt.and_(
+            hypothesis_formula,
+            *(lit if value else smt.not_(lit) for lit, value in context_case),
+        )
+        stats.context_cases += 1
+
+        characters: list[Character] = []
+        for signature in operators:
+            literals = literal_sets.event_literals.get(signature.name, ())
+            if filter_unsat:
+                assignments = _satisfiable_combinations(
+                    solver, context_formula, literals, stats, count_candidates=True
+                )
+            else:
+                assignments = _signed_combinations(literals)
+            for assignment in assignments:
+                if not filter_unsat:
+                    stats.minterm_candidates += 1
+                stats.satisfiable_minterms += 1
+                characters.append(Character(signature, assignment))
+        alphabets.append(Alphabet(context_case=context_case, characters=tuple(characters)))
+
+    return alphabets

@@ -1,0 +1,245 @@
+"""Explicit (deterministic) finite automata over a finite character alphabet.
+
+After the alphabet transformation of Sec. 5.1 the symbolic automata of HATs
+become ordinary finite automata whose characters are minterm identifiers.
+This module provides the DFA algebra the inclusion check needs: product
+constructions, complement, emptiness, inclusion, and Moore minimisation (used
+both for reporting the paper's ``avg. s_FA`` statistic and as an ablation).
+
+States are integers ``0..n-1``; characters are integers ``0..k-1``; automata
+are complete by construction (every state has a transition on every
+character).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Dfa:
+    """A complete deterministic finite automaton."""
+
+    num_chars: int
+    transitions: list[list[int]]
+    accepting: frozenset[int]
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        for state, row in enumerate(self.transitions):
+            if len(row) != self.num_chars:
+                raise ValueError(f"state {state} has {len(row)} transitions, expected {self.num_chars}")
+            for target in row:
+                if not (0 <= target < len(self.transitions)):
+                    raise ValueError(f"transition target {target} out of range")
+        if not (0 <= self.start < max(1, len(self.transitions))):
+            raise ValueError("start state out of range")
+        self.accepting = frozenset(self.accepting)
+
+    # -- observers -------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def num_transitions(self) -> int:
+        """Total transition count (complete DFA: states × characters)."""
+        return self.num_states * self.num_chars
+
+    def step(self, state: int, char: int) -> int:
+        return self.transitions[state][char]
+
+    def accepts_word(self, word: Sequence[int]) -> bool:
+        state = self.start
+        for char in word:
+            if not (0 <= char < self.num_chars):
+                raise ValueError(f"character {char} outside alphabet")
+            state = self.transitions[state][char]
+        return state in self.accepting
+
+    def reachable_states(self) -> set[int]:
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            for target in self.transitions[state]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def is_empty(self) -> bool:
+        """Is the recognised language empty?"""
+        return not (self.reachable_states() & self.accepting)
+
+    def enumerate_words(self, max_length: int) -> Iterable[tuple[int, ...]]:
+        """All accepted words up to ``max_length`` (testing helper)."""
+        frontier: list[tuple[tuple[int, ...], int]] = [((), self.start)]
+        while frontier:
+            word, state = frontier.pop(0)
+            if state in self.accepting:
+                yield word
+            if len(word) < max_length:
+                for char in range(self.num_chars):
+                    frontier.append((word + (char,), self.transitions[state][char]))
+
+    # -- boolean operations -------------------------------------------------------------
+    def complement(self) -> "Dfa":
+        return Dfa(
+            num_chars=self.num_chars,
+            transitions=[list(row) for row in self.transitions],
+            accepting=frozenset(range(self.num_states)) - self.accepting,
+            start=self.start,
+        )
+
+    def _product(self, other: "Dfa", accept) -> "Dfa":
+        if self.num_chars != other.num_chars:
+            raise ValueError("automata must share an alphabet")
+        index: dict[tuple[int, int], int] = {}
+        transitions: list[list[int]] = []
+        accepting: set[int] = set()
+        frontier: list[tuple[int, int]] = []
+
+        def state_of(pair: tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(transitions)
+                transitions.append([0] * self.num_chars)
+                frontier.append(pair)
+                if accept(pair[0] in self.accepting, pair[1] in other.accepting):
+                    accepting.add(index[pair])
+            return index[pair]
+
+        start = state_of((self.start, other.start))
+        while frontier:
+            pair = frontier.pop()
+            source = index[pair]
+            for char in range(self.num_chars):
+                target = (self.transitions[pair[0]][char], other.transitions[pair[1]][char])
+                transitions[source][char] = state_of(target)
+        return Dfa(self.num_chars, transitions, frozenset(accepting), start)
+
+    def intersect(self, other: "Dfa") -> "Dfa":
+        return self._product(other, lambda a, b: a and b)
+
+    def union(self, other: "Dfa") -> "Dfa":
+        return self._product(other, lambda a, b: a or b)
+
+    def difference(self, other: "Dfa") -> "Dfa":
+        return self._product(other, lambda a, b: a and not b)
+
+    # -- inclusion and equivalence --------------------------------------------------------
+    def is_subset_of(self, other: "Dfa") -> bool:
+        """L(self) ⊆ L(other), via an on-the-fly product emptiness check."""
+        if self.num_chars != other.num_chars:
+            raise ValueError("automata must share an alphabet")
+        seen = {(self.start, other.start)}
+        frontier = [(self.start, other.start)]
+        while frontier:
+            a, b = frontier.pop()
+            if a in self.accepting and b not in other.accepting:
+                return False
+            for char in range(self.num_chars):
+                pair = (self.transitions[a][char], other.transitions[b][char])
+                if pair not in seen:
+                    seen.add(pair)
+                    frontier.append(pair)
+        return True
+
+    def counterexample(self, other: "Dfa") -> tuple[int, ...] | None:
+        """A word in L(self) \\ L(other), or ``None`` when included."""
+        if self.num_chars != other.num_chars:
+            raise ValueError("automata must share an alphabet")
+        start = (self.start, other.start)
+        parents: dict[tuple[int, int], tuple[tuple[int, int], int] | None] = {start: None}
+        frontier = [start]
+        while frontier:
+            pair = frontier.pop(0)
+            a, b = pair
+            if a in self.accepting and b not in other.accepting:
+                word: list[int] = []
+                node: tuple[int, int] | None = pair
+                while parents[node] is not None:
+                    node, char = parents[node]  # type: ignore[misc]
+                    word.append(char)
+                return tuple(reversed(word))
+            for char in range(self.num_chars):
+                target = (self.transitions[a][char], other.transitions[b][char])
+                if target not in parents:
+                    parents[target] = (pair, char)
+                    frontier.append(target)
+        return None
+
+    def equivalent(self, other: "Dfa") -> bool:
+        return self.is_subset_of(other) and other.is_subset_of(self)
+
+    # -- minimisation -----------------------------------------------------------------------
+    def minimize(self) -> "Dfa":
+        """Moore partition-refinement minimisation (restricted to reachable states)."""
+        reachable = sorted(self.reachable_states())
+        remap = {state: i for i, state in enumerate(reachable)}
+        transitions = [
+            [remap[self.transitions[state][c]] for c in range(self.num_chars)]
+            for state in reachable
+        ]
+        accepting = {remap[s] for s in reachable if s in self.accepting}
+        start = remap[self.start]
+        n = len(reachable)
+        if n == 0:
+            return Dfa(self.num_chars, [[0] * self.num_chars], frozenset(), 0)
+
+        partition = [0 if s in accepting else 1 for s in range(n)]
+        while True:
+            signature = {}
+            new_ids: list[int] = []
+            for state in range(n):
+                sig = (partition[state], tuple(partition[transitions[state][c]] for c in range(self.num_chars)))
+                if sig not in signature:
+                    signature[sig] = len(signature)
+                new_ids.append(signature[sig])
+            if new_ids == partition:
+                break
+            partition = new_ids
+
+        num_blocks = max(partition) + 1
+        block_transitions = [[0] * self.num_chars for _ in range(num_blocks)]
+        block_accepting: set[int] = set()
+        seen_blocks: set[int] = set()
+        for state in range(n):
+            block = partition[state]
+            if block in seen_blocks:
+                continue
+            seen_blocks.add(block)
+            for char in range(self.num_chars):
+                block_transitions[block][char] = partition[transitions[state][char]]
+            if state in accepting:
+                block_accepting.add(block)
+        return Dfa(self.num_chars, block_transitions, frozenset(block_accepting), partition[start])
+
+
+# ---------------------------------------------------------------------------
+# Constructions used by tests and the ablation benchmarks
+# ---------------------------------------------------------------------------
+
+
+def empty_dfa(num_chars: int) -> Dfa:
+    """The automaton recognising the empty language."""
+    return Dfa(num_chars, [[0] * num_chars], frozenset(), 0)
+
+
+def universal_dfa(num_chars: int) -> Dfa:
+    """The automaton recognising every word."""
+    return Dfa(num_chars, [[0] * num_chars], frozenset({0}), 0)
+
+
+def word_dfa(word: Sequence[int], num_chars: int) -> Dfa:
+    """The automaton recognising exactly ``word``."""
+    n = len(word)
+    sink = n + 1
+    transitions = []
+    for i in range(n + 2):
+        row = [sink] * num_chars
+        transitions.append(row)
+    for i, char in enumerate(word):
+        transitions[i][char] = i + 1
+    return Dfa(num_chars, transitions, frozenset({n}), 0)

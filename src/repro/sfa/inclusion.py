@@ -1,0 +1,182 @@
+"""SFA inclusion checking (Algorithm 1 of the paper).
+
+``InclusionChecker.check(Γ, A, B)`` decides ``Γ ⊢ A ⊆ B``: under every
+instantiation of the typing context, every trace accepted by ``A`` is accepted
+by ``B``.  The pipeline is the paper's:
+
+1. enumerate satisfiable boolean combinations of the context literals,
+2. within each, enumerate satisfiable minterms per operator (the alphabet
+   transformation), asking the SMT solver for each candidate,
+3. compile both symbolic automata to finite automata over that alphabet and
+   run a plain FA inclusion check.
+
+The checker records the statistics reported in the paper's evaluation: the
+number of FA inclusion checks (``#FA⊆``), the sizes of the constructed
+automata (``avg. s_FA``) and the time spent in FA inclusion (``t_FA⊆``); SMT
+counts and times are tracked by the shared solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .. import smt
+from ..smt.terms import Term
+from .alphabet import Alphabet, AlphabetError, AlphabetStats, build_alphabets
+from .automata import Dfa
+from .derivatives import compile_dfa
+from .signatures import OperatorRegistry
+from .symbolic import Sfa
+
+
+@dataclass
+class InclusionStats:
+    """Counters mirroring #FA⊆ / avg s_FA / t_FA⊆ of Tables 1, 3 and 4."""
+
+    fa_inclusion_checks: int = 0
+    automata_built: int = 0
+    total_transitions: int = 0
+    context_cases: int = 0
+    minterm_candidates: int = 0
+    satisfiable_minterms: int = 0
+    fa_time_seconds: float = 0.0
+
+    @property
+    def average_transitions(self) -> float:
+        if self.automata_built == 0:
+            return 0.0
+        return self.total_transitions / self.automata_built
+
+    def merge(self, other: "InclusionStats") -> None:
+        self.fa_inclusion_checks += other.fa_inclusion_checks
+        self.automata_built += other.automata_built
+        self.total_transitions += other.total_transitions
+        self.context_cases += other.context_cases
+        self.minterm_candidates += other.minterm_candidates
+        self.satisfiable_minterms += other.satisfiable_minterms
+        self.fa_time_seconds += other.fa_time_seconds
+
+    def snapshot(self) -> "InclusionStats":
+        return InclusionStats(
+            fa_inclusion_checks=self.fa_inclusion_checks,
+            automata_built=self.automata_built,
+            total_transitions=self.total_transitions,
+            context_cases=self.context_cases,
+            minterm_candidates=self.minterm_candidates,
+            satisfiable_minterms=self.satisfiable_minterms,
+            fa_time_seconds=self.fa_time_seconds,
+        )
+
+
+@dataclass
+class InclusionResult:
+    included: bool
+    #: one witness (as a list of characters rendered to strings) when not included
+    counterexample: Optional[list[str]] = None
+
+
+class InclusionChecker:
+    """Decides language inclusion between symbolic automata under a context."""
+
+    def __init__(
+        self,
+        solver: smt.Solver,
+        operators: OperatorRegistry,
+        *,
+        minimize: bool = False,
+        filter_unsat_minterms: bool = True,
+        max_literals: int = 14,
+    ) -> None:
+        self.solver = solver
+        self.operators = operators
+        self.minimize = minimize
+        self.filter_unsat_minterms = filter_unsat_minterms
+        self.max_literals = max_literals
+        self.stats = InclusionStats()
+        self.cache_hits = 0
+        self._cache: dict[tuple, InclusionResult] = {}
+
+    # -- the main entry point ----------------------------------------------------------
+    def check(
+        self,
+        hypotheses: Sequence[Term],
+        lhs: Sfa,
+        rhs: Sfa,
+        *,
+        extra_context_literals: Iterable[Term] = (),
+    ) -> bool:
+        return self.check_detailed(
+            hypotheses, lhs, rhs, extra_context_literals=extra_context_literals
+        ).included
+
+    def check_detailed(
+        self,
+        hypotheses: Sequence[Term],
+        lhs: Sfa,
+        rhs: Sfa,
+        *,
+        extra_context_literals: Iterable[Term] = (),
+    ) -> InclusionResult:
+        cache_key = (
+            tuple(sorted(h.term_id for h in hypotheses)),
+            lhs.sfa_id,
+            rhs.sfa_id,
+            tuple(sorted(l.term_id for l in extra_context_literals)),
+        )
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        alphabet_stats = AlphabetStats()
+        alphabets = build_alphabets(
+            self.solver,
+            list(hypotheses),
+            [lhs, rhs],
+            self.operators,
+            extra_context_literals=extra_context_literals,
+            max_literals=self.max_literals,
+            filter_unsat=self.filter_unsat_minterms,
+            stats=alphabet_stats,
+        )
+        self.stats.context_cases += alphabet_stats.context_cases
+        self.stats.minterm_candidates += alphabet_stats.minterm_candidates
+        self.stats.satisfiable_minterms += alphabet_stats.satisfiable_minterms
+
+        outcome = InclusionResult(included=True)
+        for alphabet in alphabets:
+            result = self._check_under_alphabet(lhs, rhs, alphabet)
+            if not result.included:
+                outcome = result
+                break
+        self._cache[cache_key] = outcome
+        return outcome
+
+    # -- per-context-case check ---------------------------------------------------------
+    def _check_under_alphabet(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
+        start = time.perf_counter()
+        lhs_dfa = compile_dfa(lhs, alphabet)
+        rhs_dfa = compile_dfa(rhs, alphabet)
+        if self.minimize:
+            lhs_dfa = lhs_dfa.minimize()
+            rhs_dfa = rhs_dfa.minimize()
+        self.stats.automata_built += 2
+        self.stats.total_transitions += lhs_dfa.num_transitions + rhs_dfa.num_transitions
+        self.stats.fa_inclusion_checks += 1
+        witness = lhs_dfa.counterexample(rhs_dfa)
+        self.stats.fa_time_seconds += time.perf_counter() - start
+        if witness is None:
+            return InclusionResult(included=True)
+        rendered = [repr(alphabet.characters[index]) for index in witness]
+        return InclusionResult(included=False, counterexample=rendered)
+
+    # -- auxiliary queries used by the type checker --------------------------------------
+    def is_empty(self, hypotheses: Sequence[Term], formula: Sfa) -> bool:
+        """Is L(formula) empty under every instantiation of the context?"""
+        from . import symbolic
+
+        return self.check(hypotheses, formula, symbolic.BOT)
+
+    def equivalent(self, hypotheses: Sequence[Term], lhs: Sfa, rhs: Sfa) -> bool:
+        return self.check(hypotheses, lhs, rhs) and self.check(hypotheses, rhs, lhs)

@@ -1,0 +1,550 @@
+"""Symbolic finite automata, written as symbolic LTL-on-finite-traces formulas.
+
+This is the qualifier language of HATs (Fig. 4 of the paper):
+
+    A, B ::= ⟨op x̄ = ν | φ⟩ | ⟨φ⟩ | ¬A | A ∧ A | A ∨ A | A ; A | ◯A | A U A
+
+plus the derived forms ``♦A``, ``□A``, ``A ⟹ B`` and ``LAST``.  Formulas are
+hash-consed, and the smart constructors normalise associative/commutative/
+idempotent structure so the Brzozowski-style derivative construction in
+:mod:`repro.sfa.derivatives` reaches a fixpoint on a small number of states.
+
+Two internal constants extend the surface syntax:
+
+* :data:`TOP` — the automaton accepting every trace (including the empty one),
+* :data:`BOT` — the automaton accepting nothing.
+
+They arise as derivatives of atoms and make the algebra closed under
+differentiation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from .. import smt
+from ..smt.terms import Term
+from .events import Event, Trace
+from .signatures import EventSignature
+
+# Node kinds
+K_TOP = "top"
+K_BOT = "bot"
+K_EVENT = "event"
+K_GUARD = "guard"
+K_NOT = "not"
+K_AND = "and"
+K_OR = "or"
+K_CONCAT = "concat"
+K_NEXT = "next"
+K_UNTIL = "until"
+
+
+class Sfa:
+    """A hash-consed symbolic automaton formula."""
+
+    __slots__ = ("kind", "children", "payload", "_id", "__weakref__")
+    _counter = itertools.count()
+
+    def __init__(self, kind: str, children: tuple["Sfa", ...], payload):
+        self.kind = kind
+        self.children = children
+        self.payload = payload
+        self._id = next(Sfa._counter)
+
+    @property
+    def sfa_id(self) -> int:
+        return self._id
+
+    # -- observers -------------------------------------------------------------------
+    @property
+    def operator(self) -> EventSignature:
+        if self.kind != K_EVENT:
+            raise AttributeError("not an event atom")
+        return self.payload[0]
+
+    @property
+    def qualifier(self) -> Term:
+        if self.kind == K_EVENT:
+            return self.payload[1]
+        if self.kind == K_GUARD:
+            return self.payload
+        raise AttributeError("not an atom")
+
+    def __repr__(self) -> str:
+        return pretty(self)
+
+    def walk(self) -> Iterable["Sfa"]:
+        stack = [self]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node._id in seen:
+                continue
+            seen.add(node._id)
+            yield node
+            stack.extend(node.children)
+
+    def operators(self) -> set[EventSignature]:
+        """All effectful operators mentioned by event atoms in this formula."""
+        return {node.payload[0] for node in self.walk() if node.kind == K_EVENT}
+
+    def context_vars(self) -> set[Term]:
+        """Free variables of the qualifiers, excluding operator formals."""
+        out: set[Term] = set()
+        for node in self.walk():
+            if node.kind == K_EVENT:
+                signature, phi = node.payload
+                out |= phi.free_vars() - set(signature.formals)
+            elif node.kind == K_GUARD:
+                out |= node.payload.free_vars()
+        return out
+
+
+_CACHE: dict[tuple, Sfa] = {}
+
+
+def _intern(kind: str, children: tuple[Sfa, ...], payload) -> Sfa:
+    if kind == K_EVENT:
+        payload_key = (payload[0].name, payload[1].term_id)
+    elif kind == K_GUARD:
+        payload_key = payload.term_id
+    else:
+        payload_key = None
+    key = (kind, tuple(c._id for c in children), payload_key)
+    existing = _CACHE.get(key)
+    if existing is not None:
+        return existing
+    node = Sfa(kind, children, payload)
+    _CACHE[key] = node
+    return node
+
+
+TOP = _intern(K_TOP, (), None)
+BOT = _intern(K_BOT, (), None)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def event(signature: EventSignature, qualifier: Term = smt.TRUE) -> Sfa:
+    """The symbolic event ⟨op x̄ = ν | φ⟩."""
+    if not qualifier.is_formula:
+        raise ValueError("event qualifier must be a formula")
+    if qualifier.is_false:
+        return BOT
+    return _intern(K_EVENT, (), (signature, qualifier))
+
+
+def event_pinned(
+    signature: EventSignature,
+    pinned_args: Mapping[str, Term] | Sequence[Optional[Term]] = (),
+    result: Optional[Term] = None,
+    qualifier: Term = smt.TRUE,
+) -> Sfa:
+    """The paper's ``⟨op ∼v̄ = ν | φ⟩`` sugar: pin arguments/result to values.
+
+    ``pinned_args`` maps argument names (or positions, when given as a
+    sequence) to context terms; the generated qualifier equates the matching
+    formal variable with the term.
+    """
+    equalities: list[Term] = []
+    if isinstance(pinned_args, Mapping):
+        items = pinned_args.items()
+        arg_index = {name: i for i, name in enumerate(signature.arg_names)}
+        for name, value in items:
+            if name not in arg_index:
+                raise ValueError(f"{signature.name} has no argument called {name}")
+            equalities.append(smt.eq(signature.arg_vars[arg_index[name]], value))
+    else:
+        for position, value in enumerate(pinned_args):
+            if value is None:
+                continue
+            equalities.append(smt.eq(signature.arg_vars[position], value))
+    if result is not None:
+        equalities.append(smt.eq(signature.result_var, result))
+    return event(signature, smt.and_(*equalities, qualifier))
+
+
+def guard(qualifier: Term) -> Sfa:
+    """The test event ⟨φ⟩ — any single event, provided φ holds of the context."""
+    if not qualifier.is_formula:
+        raise ValueError("guard qualifier must be a formula")
+    if qualifier.is_false:
+        return BOT
+    return _intern(K_GUARD, (), qualifier)
+
+
+def not_(a: Sfa) -> Sfa:
+    if a is TOP:
+        return BOT
+    if a is BOT:
+        return TOP
+    if a.kind == K_NOT:
+        return a.children[0]
+    return _intern(K_NOT, (a,), None)
+
+
+def and_(*parts: Sfa) -> Sfa:
+    flat: list[Sfa] = []
+    seen: set[int] = set()
+    for part in parts:
+        subparts = part.children if part.kind == K_AND else (part,)
+        for sub in subparts:
+            if sub is BOT:
+                return BOT
+            if sub is TOP or sub._id in seen:
+                continue
+            seen.add(sub._id)
+            flat.append(sub)
+    if not flat:
+        return TOP
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=lambda n: n._id)
+    return _intern(K_AND, tuple(flat), None)
+
+
+def or_(*parts: Sfa) -> Sfa:
+    flat: list[Sfa] = []
+    seen: set[int] = set()
+    for part in parts:
+        subparts = part.children if part.kind == K_OR else (part,)
+        for sub in subparts:
+            if sub is TOP:
+                return TOP
+            if sub is BOT or sub._id in seen:
+                continue
+            seen.add(sub._id)
+            flat.append(sub)
+    if not flat:
+        return BOT
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=lambda n: n._id)
+    return _intern(K_OR, tuple(flat), None)
+
+
+def concat(first: Sfa, second: Sfa) -> Sfa:
+    """Language concatenation ``A ; B``."""
+    if first is BOT or second is BOT:
+        return BOT
+    if first is TOP and second is TOP:
+        return TOP
+    return _intern(K_CONCAT, (first, second), None)
+
+
+def seq(*parts: Sfa) -> Sfa:
+    if not parts:
+        return TOP
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = concat(part, result)
+    return result
+
+
+def next_(a: Sfa) -> Sfa:
+    if a is BOT:
+        return BOT
+    return _intern(K_NEXT, (a,), None)
+
+
+def until(a: Sfa, b: Sfa) -> Sfa:
+    if b is BOT:
+        return BOT
+    return _intern(K_UNTIL, (a, b), None)
+
+
+# -- derived operators -----------------------------------------------------------
+
+
+def implies(a: Sfa, b: Sfa) -> Sfa:
+    return or_(not_(a), b)
+
+
+def any_event() -> Sfa:
+    """⟨⊤⟩ — a single arbitrary event followed by anything."""
+    return guard(smt.TRUE)
+
+
+def eventually(a: Sfa) -> Sfa:
+    """♦A ≐ ⟨⊤⟩ U A."""
+    return until(any_event(), a)
+
+
+def globally(a: Sfa) -> Sfa:
+    """□A ≐ ¬♦¬A."""
+    return not_(eventually(not_(a)))
+
+
+def last() -> Sfa:
+    """LAST ≐ ¬◯⟨⊤⟩ — no further event follows the current one."""
+    return not_(next_(any_event()))
+
+
+def any_trace() -> Sfa:
+    """□⟨⊤⟩, the automaton accepting every trace."""
+    return globally(any_event())
+
+
+def single(signature: EventSignature, qualifier: Term = smt.TRUE) -> Sfa:
+    """Exactly one event: ⟨op x̄ = ν | φ⟩ ∧ LAST."""
+    return and_(event(signature, qualifier), last())
+
+
+# ---------------------------------------------------------------------------
+# Substitution of context variables
+# ---------------------------------------------------------------------------
+
+
+def substitute(formula: Sfa, mapping: Mapping[Term, Term]) -> Sfa:
+    """Substitute context variables throughout the qualifiers of ``formula``.
+
+    The mapping must not mention operator formal variables; those are locally
+    bound by each event atom.
+    """
+    if not mapping:
+        return formula
+    mapping = dict(mapping)
+
+    def go(node: Sfa) -> Sfa:
+        kind = node.kind
+        if kind in (K_TOP, K_BOT):
+            return node
+        if kind == K_EVENT:
+            signature, phi = node.payload
+            clash = set(mapping) & set(signature.formals)
+            if clash:
+                raise ValueError(
+                    f"substitution would capture formal variables {clash}"
+                )
+            return event(signature, smt.substitute(phi, mapping))
+        if kind == K_GUARD:
+            return guard(smt.substitute(node.payload, mapping))
+        children = tuple(go(c) for c in node.children)
+        if kind == K_NOT:
+            return not_(children[0])
+        if kind == K_AND:
+            return and_(*children)
+        if kind == K_OR:
+            return or_(*children)
+        if kind == K_CONCAT:
+            return concat(*children)
+        if kind == K_NEXT:
+            return next_(children[0])
+        if kind == K_UNTIL:
+            return until(*children)
+        raise AssertionError(kind)
+
+    return go(formula)
+
+
+# ---------------------------------------------------------------------------
+# Size and pretty printing
+# ---------------------------------------------------------------------------
+
+
+def size(formula: Sfa) -> int:
+    """Number of connectives and atoms — the paper's s_I measure."""
+    total = 0
+    for node in formula.walk():
+        if node.kind in (K_EVENT, K_GUARD):
+            total += 1 + len(smt.atoms(node.qualifier))
+        elif node.kind not in (K_TOP, K_BOT):
+            total += 1
+    return total
+
+
+def pretty(formula: Sfa) -> str:
+    kind = formula.kind
+    if kind == K_TOP:
+        return "TOP"
+    if kind == K_BOT:
+        return "BOT"
+    if kind == K_EVENT:
+        signature, phi = formula.payload
+        binders = " ".join(signature.arg_names)
+        return f"<{signature.name} {binders} = result | {phi!r}>"
+    if kind == K_GUARD:
+        return f"[{formula.payload!r}]"
+    if kind == K_NOT:
+        return f"not ({pretty(formula.children[0])})"
+    if kind == K_AND:
+        return "(" + " && ".join(pretty(c) for c in formula.children) + ")"
+    if kind == K_OR:
+        return "(" + " || ".join(pretty(c) for c in formula.children) + ")"
+    if kind == K_CONCAT:
+        return f"({pretty(formula.children[0])} ; {pretty(formula.children[1])})"
+    if kind == K_NEXT:
+        return f"next ({pretty(formula.children[0])})"
+    if kind == K_UNTIL:
+        return f"({pretty(formula.children[0])} until {pretty(formula.children[1])})"
+    raise AssertionError(kind)
+
+
+# ---------------------------------------------------------------------------
+# Concrete trace acceptance (Fig. 7 semantics)
+# ---------------------------------------------------------------------------
+
+#: Interpretation of pure functions / method predicates over concrete values.
+Interpretation = Mapping[str, Callable[..., object]]
+
+
+def accepts(
+    formula: Sfa,
+    trace: Trace,
+    env: Mapping[Term, object] | None = None,
+    interpretation: Interpretation | None = None,
+) -> bool:
+    """Does ``trace`` belong to ``L(formula)``?
+
+    ``env`` gives concrete values to the context variables of the formula;
+    ``interpretation`` gives meanings to pure functions and method predicates
+    occurring in qualifiers.  Used by the interpreter-level dynamic checks and
+    by the property tests that validate the type system's soundness claim.
+    """
+    env = dict(env or {})
+    interpretation = dict(interpretation or {})
+    memo: dict[tuple[int, int], bool] = {}
+
+    def sat(node: Sfa, index: int) -> bool:
+        key = (node._id, index)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = _sat(node, index)
+        memo[key] = result
+        return result
+
+    def _sat(node: Sfa, index: int) -> bool:
+        kind = node.kind
+        remaining = len(trace) - index
+        if kind == K_TOP:
+            return True
+        if kind == K_BOT:
+            return False
+        if kind == K_EVENT:
+            if remaining == 0:
+                return False
+            signature, phi = node.payload
+            current = trace[index]
+            if current.op != signature.name:
+                return False
+            local_env = dict(env)
+            for formal, actual in zip(signature.arg_vars, current.args):
+                local_env[formal] = actual
+            local_env[signature.result_var] = current.result
+            return bool(concrete_eval(phi, local_env, interpretation))
+        if kind == K_GUARD:
+            if remaining == 0:
+                return False
+            return bool(concrete_eval(node.payload, env, interpretation))
+        if kind == K_NOT:
+            return not sat(node.children[0], index)
+        if kind == K_AND:
+            return all(sat(c, index) for c in node.children)
+        if kind == K_OR:
+            return any(sat(c, index) for c in node.children)
+        if kind == K_NEXT:
+            if remaining == 0:
+                return False
+            return sat(node.children[0], index + 1)
+        if kind == K_UNTIL:
+            lhs, rhs = node.children
+            for j in range(index, len(trace)):
+                if sat(rhs, j):
+                    if all(sat(lhs, k) for k in range(index, j)):
+                        return True
+            return False
+        if kind == K_CONCAT:
+            lhs, rhs = node.children
+            # try every split of the suffix starting at `index`
+            for split in range(index, len(trace) + 1):
+                if _accepts_segment(lhs, index, split) and sat_from(rhs, split):
+                    return True
+            return False
+        raise AssertionError(kind)
+
+    segment_memo: dict[tuple[int, int, int], bool] = {}
+
+    def _accepts_segment(node: Sfa, start: int, end: int) -> bool:
+        """Does the sub-trace [start, end) belong to L(node)?"""
+        key = (node._id, start, end)
+        cached = segment_memo.get(key)
+        if cached is not None:
+            return cached
+        sub = Trace(trace.events[start:end])
+        result = accepts(node, sub, env, interpretation)
+        segment_memo[key] = result
+        return result
+
+    def sat_from(node: Sfa, index: int) -> bool:
+        return sat(node, index)
+
+    return sat(formula, 0)
+
+
+def concrete_eval(term: Term, env: Mapping[Term, object], interpretation: Interpretation):
+    """Evaluate an SMT term over concrete Python values."""
+    from ..smt import terms as t
+
+    kind = term.kind
+    if kind == t.VAR:
+        if term in env:
+            return env[term]
+        raise KeyError(f"no concrete value for variable {term!r}")
+    if kind == t.DATA_CONST:
+        return env.get(term, term.payload[0])
+    if kind in (t.INT_CONST, t.BOOL_CONST):
+        return term.payload
+    if kind == t.APP:
+        func = interpretation.get(term.payload.name)
+        if func is None:
+            raise KeyError(f"no interpretation for function {term.payload.name}")
+        return func(*(concrete_eval(c, env, interpretation) for c in term.children))
+    if kind == t.NOT:
+        return not concrete_eval(term.children[0], env, interpretation)
+    if kind == t.AND:
+        return all(concrete_eval(c, env, interpretation) for c in term.children)
+    if kind == t.OR:
+        return any(concrete_eval(c, env, interpretation) for c in term.children)
+    if kind == t.IMPLIES:
+        lhs, rhs = term.children
+        return (not concrete_eval(lhs, env, interpretation)) or concrete_eval(
+            rhs, env, interpretation
+        )
+    if kind == t.IFF:
+        lhs, rhs = term.children
+        return bool(concrete_eval(lhs, env, interpretation)) == bool(
+            concrete_eval(rhs, env, interpretation)
+        )
+    if kind == t.EQ:
+        lhs, rhs = term.children
+        return concrete_eval(lhs, env, interpretation) == concrete_eval(
+            rhs, env, interpretation
+        )
+    if kind == t.LT:
+        lhs, rhs = term.children
+        return concrete_eval(lhs, env, interpretation) < concrete_eval(
+            rhs, env, interpretation
+        )
+    if kind == t.LE:
+        lhs, rhs = term.children
+        return concrete_eval(lhs, env, interpretation) <= concrete_eval(
+            rhs, env, interpretation
+        )
+    if kind == t.ADD:
+        return sum(concrete_eval(c, env, interpretation) for c in term.children)
+    if kind == t.SUB:
+        lhs, rhs = term.children
+        return concrete_eval(lhs, env, interpretation) - concrete_eval(
+            rhs, env, interpretation
+        )
+    if kind == t.NEG:
+        return -concrete_eval(term.children[0], env, interpretation)
+    if kind == t.MUL:
+        return term.payload * concrete_eval(term.children[0], env, interpretation)
+    raise ValueError(f"cannot evaluate term of kind {kind}")

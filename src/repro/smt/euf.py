@@ -1,0 +1,190 @@
+"""Congruence closure for the theory of equality with uninterpreted functions.
+
+The solver receives a conjunction of ground literals (atoms with a polarity)
+and decides whether they are consistent in EUF.  Method predicates are
+handled by treating an asserted atom ``p(t)`` as the equation ``p(t) = true``
+(resp. ``false``), so congruent predicate applications with opposite
+polarities produce a conflict through the ordinary closure rules.
+
+Distinct integer literals and distinct named data constants are treated as
+pairwise different, matching the constant folding performed by
+``repro.smt.terms.eq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from . import terms
+from .terms import Term
+
+
+@dataclass
+class EufResult:
+    """Outcome of a congruence-closure run."""
+
+    consistent: bool
+    #: literals (as passed in) that participate in the conflict; empty when
+    #: consistent.  Kept coarse: the full asserted EUF fragment.
+    conflict: list[tuple[Term, bool]]
+
+
+class CongruenceClosure:
+    """A union-find based congruence closure engine."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+        self._terms: list[Term] = []
+        self._disequalities: list[tuple[Term, Term]] = []
+
+    # -- union-find ---------------------------------------------------------------
+    def _add_term(self, term: Term) -> None:
+        if term in self._parent:
+            return
+        self._parent[term] = term
+        self._terms.append(term)
+        for child in term.children:
+            self._add_term(child)
+
+    def find(self, term: Term) -> Term:
+        self._add_term(term)
+        root = term
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        # path compression
+        node = term
+        while self._parent[node] is not node:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, lhs: Term, rhs: Term) -> None:
+        lhs_root, rhs_root = self.find(lhs), self.find(rhs)
+        if lhs_root is rhs_root:
+            return
+        self._parent[lhs_root] = rhs_root
+
+    def assert_equal(self, lhs: Term, rhs: Term) -> None:
+        self.union(lhs, rhs)
+
+    def assert_distinct(self, lhs: Term, rhs: Term) -> None:
+        self._add_term(lhs)
+        self._add_term(rhs)
+        self._disequalities.append((lhs, rhs))
+
+    def are_equal(self, lhs: Term, rhs: Term) -> bool:
+        self._add_term(lhs)
+        self._add_term(rhs)
+        self.propagate()
+        return self.find(lhs) is self.find(rhs)
+
+    # -- congruence propagation -----------------------------------------------------
+    def propagate(self) -> None:
+        """Merge congruent applications until a fixpoint is reached."""
+        changed = True
+        while changed:
+            changed = False
+            apps = [t for t in self._terms if t.kind == terms.APP]
+            signature: dict[tuple, Term] = {}
+            for app in apps:
+                sig = (app.payload, tuple(self.find(c) for c in app.children))
+                other = signature.get(sig)
+                if other is None:
+                    signature[sig] = app
+                elif self.find(other) is not self.find(app):
+                    self.union(other, app)
+                    changed = True
+
+    # -- consistency ------------------------------------------------------------------
+    def is_consistent(self) -> bool:
+        self.propagate()
+        for lhs, rhs in self._disequalities:
+            if self.find(lhs) is self.find(rhs):
+                return False
+        # distinct interpreted constants must stay in distinct classes
+        constants: dict[Term, Term] = {}
+        for term in self._terms:
+            if term.kind in (terms.INT_CONST, terms.DATA_CONST, terms.BOOL_CONST):
+                root = self.find(term)
+                other = constants.get(root)
+                if other is None:
+                    constants[root] = term
+                elif not _same_constant(other, term):
+                    return False
+        return True
+
+    def classes(self) -> dict[Term, list[Term]]:
+        """The current partition, keyed by representative."""
+        self.propagate()
+        out: dict[Term, list[Term]] = {}
+        for term in self._terms:
+            out.setdefault(self.find(term), []).append(term)
+        return out
+
+
+def _same_constant(lhs: Term, rhs: Term) -> bool:
+    if lhs.kind != rhs.kind:
+        return False
+    return lhs.payload == rhs.payload
+
+
+def check_euf(literals: Iterable[tuple[Term, bool]]) -> EufResult:
+    """Decide consistency of a conjunction of EUF literals.
+
+    ``literals`` are pairs of an atom and the polarity with which it is
+    asserted.  Atoms that are not in the EUF fragment (arithmetic comparisons)
+    are ignored here and handled by :mod:`repro.smt.arith`.
+    """
+    closure = CongruenceClosure()
+    used: list[tuple[Term, bool]] = []
+    for atom, value in literals:
+        if atom.kind == terms.EQ:
+            lhs, rhs = atom.children
+            used.append((atom, value))
+            if value:
+                closure.assert_equal(lhs, rhs)
+            else:
+                closure.assert_distinct(lhs, rhs)
+        elif atom.kind == terms.APP and atom.sort.is_bool:
+            used.append((atom, value))
+            closure.assert_equal(atom, terms.TRUE if value else terms.FALSE)
+        elif atom.kind == terms.VAR and atom.sort.is_bool:
+            used.append((atom, value))
+            closure.assert_equal(atom, terms.TRUE if value else terms.FALSE)
+        elif atom.kind == terms.DATA_CONST and atom.sort.is_bool:  # pragma: no cover
+            used.append((atom, value))
+            closure.assert_equal(atom, terms.TRUE if value else terms.FALSE)
+        else:
+            continue
+    closure.assert_distinct(terms.TRUE, terms.FALSE)
+    if closure.is_consistent():
+        return EufResult(consistent=True, conflict=[])
+    return EufResult(consistent=False, conflict=used)
+
+
+def implied_int_equalities(
+    literals: Iterable[tuple[Term, bool]],
+    extra_terms: Iterable[Term] = (),
+) -> list[tuple[Term, Term]]:
+    """Equalities between integer-sorted terms implied by the EUF literals.
+
+    Used by the theory combinator to feed EUF consequences into the linear
+    arithmetic solver (a light-weight form of Nelson–Oppen propagation).
+    ``extra_terms`` are terms appearing only in arithmetic atoms; registering
+    them lets congruence (e.g. ``size(v) = size(w)`` from ``v = w``) reach the
+    arithmetic solver.
+    """
+    closure = CongruenceClosure()
+    for term in extra_terms:
+        closure._add_term(term)
+    for atom, value in literals:
+        if atom.kind == terms.EQ and value:
+            closure.assert_equal(*atom.children)
+        elif atom.kind == terms.APP and atom.sort.is_bool:
+            closure.assert_equal(atom, terms.TRUE if value else terms.FALSE)
+    out: list[tuple[Term, Term]] = []
+    for rep, members in closure.classes().items():
+        int_members = [m for m in members if m.sort.is_int]
+        for i in range(1, len(int_members)):
+            out.append((int_members[0], int_members[i]))
+    return out

@@ -1,0 +1,145 @@
+"""A small DPLL SAT solver.
+
+The propositional problems produced by the HAT type checker are tiny (a few
+dozen variables coming from qualifier literals and Tseitin auxiliaries), so
+the solver favours simplicity and obvious correctness over raw speed:
+recursive DPLL with unit propagation and a most-occurrences decision
+heuristic.  The interface is incremental — clauses may be added between
+``solve`` calls — which is what the lazy SMT loop in ``repro.smt.solver``
+relies on to add theory blocking clauses.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional
+
+Clause = tuple[int, ...]
+
+
+class SatSolver:
+    """Incremental DPLL solver over integer literals (DIMACS convention)."""
+
+    def __init__(self) -> None:
+        self._clauses: list[Clause] = []
+        self._num_vars = 0
+        self.stats_decisions = 0
+        self.stats_propagations = 0
+        self.stats_conflicts = 0
+
+    # -- problem construction ---------------------------------------------------
+    def add_clause(self, clause: Iterable[int]) -> None:
+        clause = tuple(clause)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._num_vars = max(self._num_vars, abs(lit))
+        self._clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def ensure_vars(self, num_vars: int) -> None:
+        self._num_vars = max(self._num_vars, num_vars)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    # -- solving ------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[int] = ()) -> Optional[dict[int, bool]]:
+        """Return a satisfying assignment ``{var: bool}`` or ``None`` if UNSAT.
+
+        ``assumptions`` are literals that must hold in the returned model.
+        The returned model assigns every variable seen by the solver (variables
+        not constrained by any clause default to ``False``).
+        """
+        clauses = list(self._clauses)
+        for lit in assumptions:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._num_vars = max(self._num_vars, abs(lit))
+            clauses.append((lit,))
+
+        result = self._dpll(clauses, {})
+        if result is None:
+            return None
+        return {v: result.get(v, False) for v in range(1, self._num_vars + 1)}
+
+    def is_satisfiable(self, assumptions: Iterable[int] = ()) -> bool:
+        return self.solve(assumptions) is not None
+
+    # -- internals ----------------------------------------------------------------
+    def _unit_propagate(
+        self, clauses: list[Clause], assignment: dict[int, bool]
+    ) -> Optional[dict[int, bool]]:
+        """Close ``assignment`` under unit propagation; ``None`` on conflict."""
+        assignment = dict(assignment)
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                unassigned_lit: Optional[int] = None
+                num_unassigned = 0
+                satisfied = False
+                for lit in clause:
+                    value = assignment.get(abs(lit))
+                    if value is None:
+                        num_unassigned += 1
+                        unassigned_lit = lit
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if num_unassigned == 0:
+                    self.stats_conflicts += 1
+                    return None
+                if num_unassigned == 1:
+                    assert unassigned_lit is not None
+                    assignment[abs(unassigned_lit)] = unassigned_lit > 0
+                    self.stats_propagations += 1
+                    changed = True
+        return assignment
+
+    def _pick_branch_var(
+        self, clauses: list[Clause], assignment: dict[int, bool]
+    ) -> Optional[int]:
+        """Most-occurrences-in-unsatisfied-clauses heuristic."""
+        counts: dict[int, int] = {}
+        for clause in clauses:
+            if any(assignment.get(abs(lit)) == (lit > 0) for lit in clause):
+                continue
+            for lit in clause:
+                if abs(lit) not in assignment:
+                    counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=lambda v: (counts[v], -v))
+
+    def _dpll(
+        self, clauses: list[Clause], assignment: dict[int, bool]
+    ) -> Optional[dict[int, bool]]:
+        needed_depth = self._num_vars + 64
+        if sys.getrecursionlimit() < needed_depth:
+            sys.setrecursionlimit(needed_depth + 1024)
+
+        propagated = self._unit_propagate(clauses, assignment)
+        if propagated is None:
+            return None
+        branch_var = self._pick_branch_var(clauses, propagated)
+        if branch_var is None:
+            return propagated
+        self.stats_decisions += 1
+        for value in (True, False):
+            candidate = dict(propagated)
+            candidate[branch_var] = value
+            result = self._dpll(clauses, candidate)
+            if result is not None:
+                return result
+        return None

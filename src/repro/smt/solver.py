@@ -1,0 +1,150 @@
+"""The top-level SMT solver facade.
+
+Implements the classic *lazy SMT* architecture: the input formula (plus
+ground instances of the method-predicate axioms) is Tseitin-encoded and
+handed to the DPLL SAT core; every propositional model is checked against
+the EUF + linear-arithmetic theory combination; theory conflicts are turned
+into blocking clauses until either a theory-consistent model is found (SAT)
+or the propositional abstraction becomes unsatisfiable (UNSAT).
+
+The :class:`Solver` also exposes the two derived queries the type checker
+needs — validity and implication — and records statistics (#SAT queries and
+cumulative time) which feed the evaluation tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from . import terms
+from .axioms import Axiom, instantiate
+from .cnf import CnfBuilder
+from .sat import SatSolver
+from .terms import Term
+from .theory import check_theory
+
+
+@dataclass
+class SolverStats:
+    """Counters mirroring the #SAT / t_SAT columns of the paper's tables."""
+
+    queries: int = 0
+    sat_results: int = 0
+    unsat_results: int = 0
+    theory_conflicts: int = 0
+    time_seconds: float = 0.0
+
+    def merge(self, other: "SolverStats") -> None:
+        self.queries += other.queries
+        self.sat_results += other.sat_results
+        self.unsat_results += other.unsat_results
+        self.theory_conflicts += other.theory_conflicts
+        self.time_seconds += other.time_seconds
+
+    def snapshot(self) -> "SolverStats":
+        return SolverStats(
+            queries=self.queries,
+            sat_results=self.sat_results,
+            unsat_results=self.unsat_results,
+            theory_conflicts=self.theory_conflicts,
+            time_seconds=self.time_seconds,
+        )
+
+
+class SolverError(RuntimeError):
+    """Raised when the lazy loop exceeds its iteration budget."""
+
+
+class Solver:
+    """A reusable solver configured with a fixed set of background axioms."""
+
+    def __init__(
+        self,
+        axioms: Sequence[Axiom] = (),
+        *,
+        instantiation_rounds: int = 2,
+        max_lazy_iterations: int = 20000,
+    ) -> None:
+        self.axioms = tuple(axioms)
+        self.instantiation_rounds = instantiation_rounds
+        self.max_lazy_iterations = max_lazy_iterations
+        self.stats = SolverStats()
+
+    # -- primitive queries ----------------------------------------------------------
+    def is_satisfiable(self, formula: Term, *, extra: Iterable[Term] = ()) -> bool:
+        """Is ``formula`` (conjoined with ``extra``) satisfiable modulo the axioms?"""
+        start = time.perf_counter()
+        self.stats.queries += 1
+        goal = terms.and_(formula, *extra)
+        result = self._check(goal)
+        self.stats.time_seconds += time.perf_counter() - start
+        if result:
+            self.stats.sat_results += 1
+        else:
+            self.stats.unsat_results += 1
+        return result
+
+    def is_valid(self, formula: Term, *, hypotheses: Iterable[Term] = ()) -> bool:
+        """Is ``hypotheses ==> formula`` valid modulo the axioms?"""
+        negated = terms.and_(*hypotheses, terms.not_(formula))
+        return not self.is_satisfiable(negated)
+
+    def implies(self, hypotheses: Iterable[Term], conclusion: Term) -> bool:
+        return self.is_valid(conclusion, hypotheses=hypotheses)
+
+    # -- the lazy SMT loop ------------------------------------------------------------
+    def _check(self, goal: Term) -> bool:
+        if goal.is_false:
+            return False
+        instances = instantiate(
+            self.axioms, [goal], rounds=self.instantiation_rounds
+        )
+        builder = CnfBuilder()
+        builder.assert_formula(goal)
+        for instance in instances:
+            builder.assert_formula(instance)
+
+        sat = SatSolver()
+        sat.add_clauses(builder.clauses)
+        sat.ensure_vars(builder.num_vars)
+        known_clause_count = len(builder.clauses)
+
+        for _ in range(self.max_lazy_iterations):
+            model = sat.solve()
+            if model is None:
+                return False
+            literals = [
+                (atom, model[var])
+                for var, atom in builder.atom_of_var.items()
+                if var in model
+            ]
+            theory = check_theory(literals)
+            if theory.consistent:
+                return True
+            self.stats.theory_conflicts += 1
+            builder.block_assignment(theory.conflict)
+            for clause in builder.clauses[known_clause_count:]:
+                sat.add_clause(clause)
+            known_clause_count = len(builder.clauses)
+        raise SolverError("lazy SMT loop exceeded its iteration budget")
+
+
+_DEFAULT_SOLVER: Optional[Solver] = None
+
+
+def default_solver() -> Solver:
+    """A process-wide solver with no background axioms (useful in tests)."""
+    global _DEFAULT_SOLVER
+    if _DEFAULT_SOLVER is None:
+        _DEFAULT_SOLVER = Solver()
+    return _DEFAULT_SOLVER
+
+
+def is_satisfiable(formula: Term) -> bool:
+    return default_solver().is_satisfiable(formula)
+
+
+def is_valid(formula: Term) -> bool:
+    return default_solver().is_valid(formula)

@@ -1,0 +1,72 @@
+"""Theory combination for the lazy SMT loop.
+
+A candidate boolean model from the SAT core induces a conjunction of theory
+literals.  This module checks that conjunction against the combination of
+EUF (congruence closure) and linear integer arithmetic, with a light-weight
+Nelson–Oppen style propagation of EUF-implied equalities between Int-sorted
+terms into the arithmetic solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from . import arith, euf, terms
+from .terms import Term
+
+
+@dataclass
+class TheoryResult:
+    consistent: bool
+    #: literals explaining the conflict (a subset of those passed in);
+    #: empty when consistent.
+    conflict: list[tuple[Term, bool]]
+
+
+def _is_arith_atom(atom: Term) -> bool:
+    if atom.kind in (terms.LT, terms.LE):
+        return True
+    if atom.kind == terms.EQ and atom.children[0].sort.is_int:
+        return True
+    return False
+
+
+def _is_euf_atom(atom: Term) -> bool:
+    if atom.kind == terms.EQ:
+        return True
+    if atom.kind == terms.APP and atom.sort.is_bool:
+        return True
+    if atom.kind == terms.VAR and atom.sort.is_bool:
+        return True
+    return False
+
+
+def check_theory(literals: Iterable[tuple[Term, bool]]) -> TheoryResult:
+    """Check a conjunction of literals for EUF + LIA consistency."""
+    literal_list = list(literals)
+
+    euf_literals = [(a, v) for a, v in literal_list if _is_euf_atom(a)]
+    arith_literals = [(a, v) for a, v in literal_list if _is_arith_atom(a)]
+
+    euf_result = euf.check_euf(euf_literals)
+    if not euf_result.consistent:
+        return TheoryResult(consistent=False, conflict=euf_result.conflict)
+
+    if arith_literals:
+        shared_terms = [
+            node
+            for atom, _ in arith_literals
+            for node in atom.walk()
+            if node.sort.is_int and node.kind in (terms.APP, terms.VAR)
+        ]
+        shared = euf.implied_int_equalities(euf_literals, extra_terms=shared_terms)
+        if not arith.check_arith(arith_literals, extra_equalities=shared):
+            # conflict explanation: the arithmetic literals plus the equalities
+            # that fed them (we conservatively include the EUF equalities).
+            conflict = arith_literals + [
+                (a, v) for a, v in euf_literals if a.kind == terms.EQ and v
+            ]
+            return TheoryResult(consistent=False, conflict=conflict)
+
+    return TheoryResult(consistent=True, conflict=[])

@@ -1,0 +1,6 @@
+"""repro.suite — the evaluation corpus: ADT implementations plus specifications."""
+
+from .benchmark import AdtBenchmark
+from .registry import BENCHMARK_FACTORIES, all_benchmarks, benchmark_by_key
+
+__all__ = ["AdtBenchmark", "BENCHMARK_FACTORIES", "all_benchmarks", "benchmark_by_key"]

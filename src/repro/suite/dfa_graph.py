@@ -1,0 +1,190 @@
+"""DFA and ConnectedGraph on top of the stateful Graph library (Example 4.5).
+
+* **DFA/Graph** — determinism of transitions (the paper's I_DFA): a node may
+  have at most one live outgoing transition per character; adding a new one
+  requires any previous one to have been disconnected first.
+* **ConnectedGraph/Graph** — the connectivity policy is reproduced as the
+  checkable core used by the paper's implementation: edges may only be added
+  between nodes that are already part of the graph and self-loops are
+  forbidden (see EXPERIMENTS.md for the discussion of this substitution).
+"""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, CHAR, NODE, UNIT
+from ..libraries.graphlib import make_graph, node_predicate
+from ..sfa import symbolic
+from ..types.rtypes import base
+from ..typecheck.spec import invariant_method
+from .benchmark import AdtBenchmark
+
+
+def _dfa_invariant(library) -> symbolic.Sfa:
+    """I_DFA(n, c) ≐ □ ¬(⟨connect ∼n ∼c _⟩ ∧ ◯(¬⟨disconnect ∼n ∼c _⟩ U ⟨connect ∼n ∼c _⟩))."""
+    connect = library.operators["connect"]
+    disconnect = library.operators["disconnect"]
+    n = smt.var("n", NODE)
+    c = smt.var("c", CHAR)
+    connect_nc = symbolic.event(
+        connect, smt.and_(smt.eq(connect.arg_vars[0], n), smt.eq(connect.arg_vars[1], c))
+    )
+    disconnect_nc = symbolic.event(
+        disconnect, smt.and_(smt.eq(disconnect.arg_vars[0], n), smt.eq(disconnect.arg_vars[1], c))
+    )
+    reconnect_without_removal = symbolic.and_(
+        connect_nc,
+        symbolic.next_(symbolic.until(symbolic.not_(disconnect_nc), connect_nc)),
+    )
+    return symbolic.globally(symbolic.not_(reconnect_without_removal))
+
+
+DFA_SOURCE = """
+let add_transition (n_start : Node.t) (ch : Char.t) (n_end : Node.t) : bool =
+  if connected n_start ch then false
+  else begin connect n_start ch n_end; true end
+
+let del_transition (n_start : Node.t) (ch : Char.t) (n_end : Node.t) : bool =
+  disconnect n_start ch n_end; true
+
+let is_transition (n_start : Node.t) (ch : Char.t) : bool =
+  connected n_start ch
+
+let add_state (nd : Node.t) : unit =
+  add_node nd
+
+let is_state (nd : Node.t) : bool =
+  is_node nd
+"""
+
+DFA_ADD_BAD = """
+let add_transition_bad (n_start : Node.t) (ch : Char.t) (n_end : Node.t) : bool =
+  connect n_start ch n_end; true
+"""
+
+
+def dfa_graph() -> AdtBenchmark:
+    library = make_graph(NODE, CHAR, name="Graph")
+    invariant = _dfa_invariant(library)
+    ghosts = (("n", NODE), ("c", CHAR))
+
+    specs = {
+        "add_transition": invariant_method(
+            "add_transition",
+            ghosts,
+            [("n_start", base(NODE)), ("c_arg", base(CHAR)), ("n_end", base(NODE))],
+            invariant,
+            base(BOOL),
+        ),
+        "del_transition": invariant_method(
+            "del_transition",
+            ghosts,
+            [("n_start", base(NODE)), ("c_arg", base(CHAR)), ("n_end", base(NODE))],
+            invariant,
+            base(BOOL),
+        ),
+        "is_transition": invariant_method(
+            "is_transition",
+            ghosts,
+            [("n_start", base(NODE)), ("c_arg", base(CHAR))],
+            invariant,
+            base(BOOL),
+        ),
+        "add_state": invariant_method(
+            "add_state", ghosts, [("n_arg", base(NODE))], invariant, base(UNIT)
+        ),
+        "is_state": invariant_method(
+            "is_state", ghosts, [("n_arg", base(NODE))], invariant, base(BOOL)
+        ),
+    }
+
+    return AdtBenchmark(
+        adt="DFA",
+        library_name="Graph",
+        library=library,
+        source=DFA_SOURCE,
+        invariant_description="Two nodes can have at most one live edge per character (determinism)",
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+        negative_variants={"add_transition_bad": (DFA_ADD_BAD, "add_transition")},
+    )
+
+
+def _connected_graph_invariant(library) -> symbolic.Sfa:
+    """Nodes are added before they are connected, and there are no self-loops."""
+    connect = library.operators["connect"]
+    add_node = library.operators["add_node"]
+    n = smt.var("n", NODE)
+    src_var, _, dst_var = connect.arg_vars
+    touches_n = symbolic.event(connect, smt.or_(smt.eq(src_var, n), smt.eq(dst_var, n)))
+    added_n = symbolic.event_pinned(add_node, {"n": n})
+    connected_before_added = symbolic.until(symbolic.not_(added_n), touches_n)
+    no_self_loop = symbolic.globally(
+        symbolic.not_(symbolic.event(connect, smt.eq(src_var, dst_var)))
+    )
+    return symbolic.and_(symbolic.not_(connected_before_added), no_self_loop)
+
+
+CONNECTED_GRAPH_SOURCE = """
+let add_state (nd : Node.t) : unit =
+  add_node nd
+
+let add_edge (f : Node.t) (ch : Char.t) (t : Node.t) : bool =
+  if f == t then false
+  else
+    if is_node f then
+      begin
+        if is_node t then begin connect f ch t; true end
+        else false
+      end
+    else false
+
+let has_state (nd : Node.t) : bool =
+  is_node nd
+
+let singleton (nd : Node.t) : unit =
+  add_node nd
+"""
+
+CONNECTED_ADD_EDGE_BAD = """
+let add_edge_bad (f : Node.t) (c : Char.t) (t : Node.t) : bool =
+  connect f c t; true
+"""
+
+
+def connected_graph_graph() -> AdtBenchmark:
+    library = make_graph(NODE, CHAR, name="Graph")
+    invariant = _connected_graph_invariant(library)
+    ghosts = (("n", NODE),)
+
+    specs = {
+        "add_state": invariant_method(
+            "add_state", ghosts, [("n_arg", base(NODE))], invariant, base(UNIT)
+        ),
+        "add_edge": invariant_method(
+            "add_edge",
+            ghosts,
+            [("f", base(NODE)), ("c_arg", base(CHAR)), ("t", base(NODE))],
+            invariant,
+            base(BOOL),
+        ),
+        "has_state": invariant_method(
+            "has_state", ghosts, [("n_arg", base(NODE))], invariant, base(BOOL)
+        ),
+        "singleton": invariant_method(
+            "singleton", ghosts, [("n_arg", base(NODE))], invariant, base(UNIT)
+        ),
+    }
+
+    return AdtBenchmark(
+        adt="ConnectedGraph",
+        library_name="Graph",
+        library=library,
+        source=CONNECTED_GRAPH_SOURCE,
+        invariant_description="Edges only connect nodes already in the graph; no self-loops",
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+        negative_variants={"add_edge_bad": (CONNECTED_ADD_EDGE_BAD, "add_edge")},
+    )

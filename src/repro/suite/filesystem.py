@@ -1,0 +1,138 @@
+"""The FileSystem ADT of the paper's motivating example (Fig. 1) over KVStore.
+
+The representation invariant is the paper's Invariant_FS / I_FS(p): every
+path stored in the key-value store, other than the root, must have its parent
+stored as a non-deleted directory.  ``add`` follows Fig. 1 (existence check,
+parent check, parent-kind check, then the two ``put``s); the incorrect
+``addbad`` of Example 2.1 is carried as a negative variant and must be
+rejected.
+
+The ``delete``/``deleteChildren`` pair of Fig. 1 is not reproduced: verifying
+it requires recursing over the children list of a directory, which needs
+inductive datatypes in specifications (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, BYTES, PATH, UNIT
+from ..libraries.filelib import (
+    ROOT_PATH,
+    is_del,
+    is_dir,
+    is_file,
+    is_root,
+    make_file_helpers,
+    parent_fn,
+)
+from ..libraries.base import merge_libraries
+from ..libraries.kvstore import make_kvstore, stored_kind_predicate
+from ..sfa import symbolic
+from ..types.rtypes import base
+from ..typecheck.spec import invariant_method
+from .benchmark import AdtBenchmark
+
+
+def _root_axiom() -> smt.Axiom:
+    q = smt.var("fs_ax_q", PATH)
+    return smt.axiom("isRoot-def", [q], smt.iff(smt.apply(is_root, q), smt.eq(q, ROOT_PATH)))
+
+
+def _filesystem_library():
+    kinds = [
+        ("dir", lambda v: smt.apply(is_dir, v)),
+        ("file", lambda v: smt.apply(is_file, v)),
+        ("deleted", lambda v: smt.apply(is_del, v)),
+    ]
+    kv = make_kvstore(PATH, BYTES, name="KVStore", get_kinds=kinds)
+    helpers = make_file_helpers()
+    library = merge_libraries("KVStore", kv, helpers)
+    library.axioms = tuple(library.axioms) + (_root_axiom(),)
+    return library
+
+
+def filesystem_invariant(library) -> symbolic.Sfa:
+    """I_FS(p) of Example 2.2."""
+    operators = library.operators
+    p = smt.var("p", PATH)
+    p_is_dir = stored_kind_predicate(
+        operators,
+        p,
+        lambda v: smt.apply(is_dir, v),
+        lambda v: smt.or_(smt.apply(is_del, v), smt.apply(is_file, v)),
+    )
+    p_is_file = stored_kind_predicate(
+        operators,
+        p,
+        lambda v: smt.apply(is_file, v),
+        lambda v: smt.or_(smt.apply(is_del, v), smt.apply(is_dir, v)),
+    )
+    parent_is_dir = stored_kind_predicate(
+        operators,
+        smt.apply(parent_fn, p),
+        lambda v: smt.apply(is_dir, v),
+        lambda v: smt.or_(smt.apply(is_del, v), smt.apply(is_file, v)),
+    )
+    return symbolic.or_(
+        symbolic.globally(symbolic.guard(smt.apply(is_root, p))),
+        symbolic.implies(symbolic.or_(p_is_file, p_is_dir), parent_is_dir),
+    )
+
+
+FILESYSTEM_SOURCE = """
+let init (u : unit) : bool =
+  if exists "/" then false
+  else begin put "/" (File.init ()); true end
+
+let add (path : Path.t) (bytes : Bytes.t) : bool =
+  if exists path then false
+  else
+    let parent_path = Path.parent path in
+    if not (exists parent_path) then false
+    else
+      let b = get parent_path in
+      if File.isDir b then
+        begin put path bytes; put parent_path (File.addChild b path); true end
+      else false
+
+let exists_path (path : Path.t) : bool =
+  exists path
+"""
+
+FILESYSTEM_ADD_BAD = """
+let addbad (path : Path.t) (bytes : Bytes.t) : bool =
+  put path bytes; true
+"""
+
+
+def filesystem_kvstore() -> AdtBenchmark:
+    library = _filesystem_library()
+    invariant = filesystem_invariant(library)
+    ghosts = (("p", PATH),)
+
+    specs = {
+        "init": invariant_method("init", ghosts, [("u", base(UNIT))], invariant, base(BOOL)),
+        "add": invariant_method(
+            "add", ghosts, [("path", base(PATH)), ("bytes", base(BYTES))], invariant, base(BOOL)
+        ),
+        "exists_path": invariant_method(
+            "exists_path", ghosts, [("path", base(PATH))], invariant, base(BOOL)
+        ),
+    }
+
+    return AdtBenchmark(
+        adt="FileSystem",
+        library_name="KVStore",
+        library=library,
+        source=FILESYSTEM_SOURCE,
+        invariant_description=(
+            "Any non-root path stored as a key must have its parent stored as a "
+            "non-deleted directory"
+        ),
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+        negative_variants={"addbad": (FILESYSTEM_ADD_BAD, "add")},
+        max_literals=20,
+        slow=True,
+    )

@@ -1,0 +1,86 @@
+"""LazySet on top of the stateful Set library (Example 4.4).
+
+The representation invariant is the paper's I_LSet: an element is never
+inserted twice into the backing set.  Insertions are delayed behind thunks of
+type ``unit → [I_LSet(el)] unit [I_LSet(el)]``, exercising the function-typed
+parameters and results of HATs.
+"""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, ELEM, UNIT
+from ..libraries.setlib import make_set, member_predicate
+from ..sfa import symbolic
+from ..types.rtypes import FunType, HatType, base
+from ..typecheck.spec import MethodSpec, invariant_method
+from .benchmark import AdtBenchmark
+
+
+def _insert_once_invariant(library) -> symbolic.Sfa:
+    """I_LSet(el) ≐ □(⟨insert ∼el⟩ ⟹ ◯ ¬ ♦ ⟨insert ∼el⟩)."""
+    el = smt.var("el", ELEM)
+    insert_el = symbolic.event_pinned(library.operators["insert"], {"x": el})
+    return symbolic.globally(
+        symbolic.implies(insert_el, symbolic.next_(symbolic.not_(symbolic.eventually(insert_el))))
+    )
+
+
+LAZYSET_SET_SOURCE = """
+let new_thunk (u : unit) : thunk =
+  fun (w : unit) -> ()
+
+let force (thunk : thunk) : unit =
+  thunk ()
+
+let lazy_insert (x : Elem.t) (thunk : thunk) : thunk =
+  fun (w : unit) ->
+    let r = thunk () in
+    if mem x then () else insert x
+
+let lazy_mem (x : Elem.t) (thunk : thunk) : bool =
+  let r = thunk () in
+  mem x
+"""
+
+LAZY_INSERT_BAD = """
+let lazy_insert_bad (x : Elem.t) (thunk : thunk) : thunk =
+  fun (w : unit) ->
+    let r = thunk () in
+    insert x
+"""
+
+
+def lazyset_set() -> AdtBenchmark:
+    library = make_set(ELEM, name="Set")
+    invariant = _insert_once_invariant(library)
+    ghosts = (("el", ELEM),)
+
+    thunk_type = FunType("w", base(UNIT), HatType(invariant, base(UNIT), invariant))
+
+    specs = {
+        "new_thunk": invariant_method(
+            "new_thunk", ghosts, [("u", base(UNIT))], invariant, thunk_type
+        ),
+        "force": invariant_method(
+            "force", ghosts, [("thunk", thunk_type)], invariant, base(UNIT)
+        ),
+        "lazy_insert": invariant_method(
+            "lazy_insert", ghosts, [("x", base(ELEM)), ("thunk", thunk_type)], invariant, thunk_type
+        ),
+        "lazy_mem": invariant_method(
+            "lazy_mem", ghosts, [("x", base(ELEM)), ("thunk", thunk_type)], invariant, base(BOOL)
+        ),
+    }
+
+    return AdtBenchmark(
+        adt="LazySet",
+        library_name="Set",
+        library=library,
+        source=LAZYSET_SET_SOURCE,
+        invariant_description="An element has never been inserted twice",
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+        negative_variants={"lazy_insert_bad": (LAZY_INSERT_BAD, "lazy_insert")},
+    )

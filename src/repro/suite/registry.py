@@ -1,0 +1,38 @@
+"""The benchmark registry: every ADT/library combination of the reproduction."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .benchmark import AdtBenchmark
+from .dfa_graph import connected_graph_graph, dfa_graph
+from .filesystem import filesystem_kvstore
+from .lazyset_set import lazyset_set
+from .set_kvstore import lazyset_kvstore, set_kvstore, stack_kvstore
+
+#: Ordered constructors, one per evaluation-table row.
+BENCHMARK_FACTORIES: tuple[Callable[[], AdtBenchmark], ...] = (
+    set_kvstore,
+    stack_kvstore,
+    lazyset_kvstore,
+    lazyset_set,
+    dfa_graph,
+    connected_graph_graph,
+    filesystem_kvstore,
+)
+
+
+def all_benchmarks(*, include_slow: bool = True) -> list[AdtBenchmark]:
+    """Instantiate the whole corpus (optionally skipping the slow rows)."""
+    benchmarks = [factory() for factory in BENCHMARK_FACTORIES]
+    if not include_slow:
+        benchmarks = [b for b in benchmarks if not b.slow]
+    return benchmarks
+
+
+def benchmark_by_key(key: str) -> AdtBenchmark:
+    """Look up a benchmark by its ``ADT/Library`` key (e.g. ``"Set/KVStore"``)."""
+    for benchmark in all_benchmarks():
+        if benchmark.key == key:
+            return benchmark
+    raise KeyError(f"unknown benchmark {key!r}; known: {[b.key for b in all_benchmarks()]}")

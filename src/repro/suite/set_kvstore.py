@@ -1,0 +1,194 @@
+"""Set, Stack and LazySet on top of the key-value store.
+
+All three share the same backing library and the same style of invariant
+(Table 2):
+
+* **Set/KVStore** — "every key is associated with a distinct value": the ADT
+  always stores an element under itself as key, and an element is never put
+  twice;
+* **Stack/KVStore** — "not a circular linked list": the stack is a chain in
+  the store (element ↦ previous top) and a chain key is never re-put, so the
+  chain cannot loop back;
+* **LazySet/KVStore** — the Set invariant, with insertions delayed behind a
+  thunk.
+"""
+
+from __future__ import annotations
+
+from .. import smt
+from ..smt.sorts import BOOL, ELEM, UNIT
+from ..libraries.kvstore import exists_predicate, make_kvstore
+from ..sfa import symbolic
+from ..types.rtypes import FunType, HatType, base
+from ..typecheck.spec import MethodSpec, invariant_method
+from .benchmark import AdtBenchmark
+
+
+def _kv_invariant(library) -> symbolic.Sfa:
+    """I_Set(el): puts are keyed by their value, and a value is put at most once."""
+    put = library.operators["put"]
+    el = smt.var("el", ELEM)
+    key_var, value_var = put.arg_vars
+    keyed = symbolic.globally(
+        symbolic.not_(symbolic.event(put, smt.not_(smt.eq(key_var, value_var))))
+    )
+    put_el = symbolic.event(put, smt.eq(value_var, el))
+    unique = symbolic.globally(
+        symbolic.implies(put_el, symbolic.next_(symbolic.not_(symbolic.eventually(put_el))))
+    )
+    return symbolic.and_(keyed, unique)
+
+
+SET_SOURCE = """
+let insert (x : Elem.t) : unit =
+  if exists x then () else put x x
+
+let mem (x : Elem.t) : bool =
+  exists x
+
+let empty (u : unit) : bool =
+  true
+"""
+
+SET_INSERT_BAD = """
+let insert_bad (x : Elem.t) : unit =
+  put x x
+"""
+
+
+def set_kvstore() -> AdtBenchmark:
+    library = make_kvstore(ELEM, ELEM, name="KVStore")
+    invariant = _kv_invariant(library)
+    ghosts = (("el", ELEM),)
+
+    specs = {
+        "insert": invariant_method("insert", ghosts, [("x", base(ELEM))], invariant, base(UNIT)),
+        "mem": invariant_method("mem", ghosts, [("x", base(ELEM))], invariant, base(BOOL)),
+        "empty": invariant_method("empty", ghosts, [("u", base(UNIT))], invariant, base(BOOL)),
+    }
+
+    return AdtBenchmark(
+        adt="Set",
+        library_name="KVStore",
+        library=library,
+        source=SET_SOURCE,
+        invariant_description="Every key is associated with a distinct value",
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+        negative_variants={"insert_bad": (SET_INSERT_BAD, "insert")},
+    )
+
+
+STACK_SOURCE = """
+let push (x : Elem.t) (top : Elem.t) : bool =
+  if exists x then false
+  else begin put x top; true end
+
+let contains (x : Elem.t) : bool =
+  exists x
+
+let next (x : Elem.t) : Elem.t =
+  get x
+
+let is_empty (u : unit) : bool =
+  true
+"""
+
+STACK_PUSH_BAD = """
+let push_bad (x : Elem.t) (top : Elem.t) : bool =
+  put x top; true
+"""
+
+
+def _stack_invariant(library) -> symbolic.Sfa:
+    """I_Stack(el): a chain key is never put twice (the chain cannot become circular)."""
+    put = library.operators["put"]
+    el = smt.var("el", ELEM)
+    key_var = put.arg_vars[0]
+    put_el = symbolic.event(put, smt.eq(key_var, el))
+    return symbolic.globally(
+        symbolic.implies(put_el, symbolic.next_(symbolic.not_(symbolic.eventually(put_el))))
+    )
+
+
+def stack_kvstore() -> AdtBenchmark:
+    library = make_kvstore(ELEM, ELEM, name="KVStore")
+    invariant = _stack_invariant(library)
+    ghosts = (("el", ELEM),)
+
+    # `next` follows the chain with `get`, so its precondition additionally
+    # requires the queried element to be in the store (a HAT whose pre- and
+    # postconditions differ, unlike the invariant-preserving methods).
+    x_var = smt.var("x", ELEM)
+    next_pre = symbolic.and_(invariant, exists_predicate(library.operators, x_var))
+    next_post = symbolic.concat(next_pre, symbolic.any_trace())
+
+    specs = {
+        "push": invariant_method(
+            "push", ghosts, [("x", base(ELEM)), ("top", base(ELEM))], invariant, base(BOOL)
+        ),
+        "contains": invariant_method("contains", ghosts, [("x", base(ELEM))], invariant, base(BOOL)),
+        "next": MethodSpec(
+            name="next",
+            ghosts=ghosts,
+            params=(("x", base(ELEM)),),
+            precondition=next_pre,
+            result=base(ELEM),
+            postcondition=next_post,
+        ),
+        "is_empty": invariant_method("is_empty", ghosts, [("u", base(UNIT))], invariant, base(BOOL)),
+    }
+
+    return AdtBenchmark(
+        adt="Stack",
+        library_name="KVStore",
+        library=library,
+        source=STACK_SOURCE,
+        invariant_description="Not a circular linked list (chain keys are never re-put)",
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+        negative_variants={"push_bad": (STACK_PUSH_BAD, "push")},
+    )
+
+
+LAZYSET_KV_SOURCE = """
+let new_thunk (u : unit) : unit =
+  ()
+
+let force (x : Elem.t) : unit =
+  if exists x then () else put x x
+
+let lazy_insert (x : Elem.t) : unit =
+  if exists x then () else put x x
+
+let lazy_mem (x : Elem.t) : bool =
+  exists x
+"""
+
+
+def lazyset_kvstore() -> AdtBenchmark:
+    library = make_kvstore(ELEM, ELEM, name="KVStore")
+    invariant = _kv_invariant(library)
+    ghosts = (("el", ELEM),)
+
+    specs = {
+        "new_thunk": invariant_method("new_thunk", ghosts, [("u", base(UNIT))], invariant, base(UNIT)),
+        "force": invariant_method("force", ghosts, [("x", base(ELEM))], invariant, base(UNIT)),
+        "lazy_insert": invariant_method(
+            "lazy_insert", ghosts, [("x", base(ELEM))], invariant, base(UNIT)
+        ),
+        "lazy_mem": invariant_method("lazy_mem", ghosts, [("x", base(ELEM))], invariant, base(BOOL)),
+    }
+
+    return AdtBenchmark(
+        adt="LazySet",
+        library_name="KVStore",
+        library=library,
+        source=LAZYSET_KV_SOURCE,
+        invariant_description="Every key is associated with a distinct value",
+        invariant=invariant,
+        ghosts=ghosts,
+        specs=specs,
+    )

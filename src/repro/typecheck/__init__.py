@@ -1,0 +1,18 @@
+"""repro.typecheck — the bidirectional HAT type checking algorithm."""
+
+from .abduction import abduce_ghosts
+from .checker import CheckFailure, Checker, CheckerConfig
+from .spec import MethodSpec, invariant_method
+from .stats import AdtStats, MethodResult, MethodStats
+
+__all__ = [
+    "abduce_ghosts",
+    "CheckFailure",
+    "Checker",
+    "CheckerConfig",
+    "MethodSpec",
+    "invariant_method",
+    "AdtStats",
+    "MethodResult",
+    "MethodStats",
+]

@@ -1,0 +1,144 @@
+"""Ghost-variable instantiation (the paper's ``Abduce``, Algorithm 3).
+
+Effectful operators may declare *ghost variables* — purely logical values
+such as the current content ``a`` of a key in ``get``'s signature.  When the
+checker encounters such an operator it must find a qualifier for the ghost
+that is strong enough for the operator's precondition to cover the current
+effect context.
+
+The implementation follows the structure of Algorithm 3 with the CEGIS loop
+replaced by bounded enumeration, which is exact for the literal budgets that
+arise in the benchmark suite: the hypothesis space is the set of boolean
+combinations of the literals that mention the ghost variable, and the
+inferred qualifier is the (weakest) disjunction of all combinations under
+which the required automata inclusion holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from .. import smt
+from ..smt.sorts import Sort
+from ..sfa import symbolic
+from ..types.context import TypingContext
+from ..types.rtypes import EffectType, RefinementType, base, cases_of, nu
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .checker import Checker
+
+_counter = itertools.count()
+
+
+def _fresh_ghost_variable(name: str, sort: Sort) -> smt.Term:
+    return smt.var(f"{name}!{next(_counter)}", sort)
+
+
+def abduce_ghosts(
+    checker: "Checker",
+    gamma: TypingContext,
+    context_automaton: symbolic.Sfa,
+    ghosts: Sequence[tuple[str, Sort]],
+    effect: EffectType,
+    substitution: Mapping[smt.Term, smt.Term],
+    *,
+    max_literals: int = 6,
+) -> tuple[TypingContext, dict[smt.Term, smt.Term]]:
+    """Instantiate the operator's ghost variables.
+
+    Returns the extended context and the substitution mapping each declared
+    ghost variable to the fresh context variable that now stands for it.
+    """
+    ghost_substitution: dict[smt.Term, smt.Term] = {}
+    if not ghosts:
+        return gamma, ghost_substitution
+
+    for ghost_name, ghost_sort in ghosts:
+        declared = smt.var(ghost_name, ghost_sort)
+        fresh = _fresh_ghost_variable(ghost_name, ghost_sort)
+        ghost_substitution[declared] = fresh
+
+    # Substitute parameters and ghosts into the precondition cases, then ask
+    # whether the ghost needs strengthening at all.
+    full_substitution = dict(substitution)
+    full_substitution.update(ghost_substitution)
+    preconditions = [
+        symbolic.substitute(case.precondition, full_substitution) for case in cases_of(effect)
+    ]
+    precondition_union = symbolic.or_(*preconditions)
+
+    gamma_with_ghosts = gamma
+    for fresh in ghost_substitution.values():
+        gamma_with_ghosts = gamma_with_ghosts.bind(fresh.payload[0], base(fresh.sort))
+
+    if checker.engine.automata_included(
+        gamma_with_ghosts, context_automaton, precondition_union
+    ):
+        return gamma_with_ghosts, ghost_substitution
+
+    # Strengthen each ghost in turn with the weakest boolean combination of
+    # the ghost-mentioning literals that validates the coverage obligation.
+    strengthened = gamma
+    for (ghost_name, ghost_sort), fresh in zip(ghosts, ghost_substitution.values()):
+        literals = _candidate_literals(
+            [context_automaton, precondition_union], fresh, max_literals
+        )
+        qualifier = _weakest_qualifier(
+            checker, strengthened, context_automaton, precondition_union, fresh, literals,
+            [other for other in ghost_substitution.values() if other is not fresh],
+        )
+        strengthened = strengthened.bind(
+            fresh.payload[0], RefinementType(ghost_sort, smt.substitute(qualifier, {fresh: nu(ghost_sort)}))
+        )
+    return strengthened, ghost_substitution
+
+
+def _candidate_literals(
+    automata: Sequence[symbolic.Sfa], ghost: smt.Term, max_literals: int
+) -> list[smt.Term]:
+    """Literals mentioning the ghost variable, drawn from the automata qualifiers."""
+    found: dict[smt.Term, None] = {}
+    for automaton in automata:
+        for node in automaton.walk():
+            if node.kind in (symbolic.K_EVENT, symbolic.K_GUARD):
+                for atom in smt.atoms(node.qualifier):
+                    if ghost in atom.free_vars():
+                        found.setdefault(atom, None)
+    literals = list(found)
+    return literals[:max_literals]
+
+
+def _weakest_qualifier(
+    checker: "Checker",
+    gamma: TypingContext,
+    context_automaton: symbolic.Sfa,
+    target: symbolic.Sfa,
+    ghost: smt.Term,
+    literals: Sequence[smt.Term],
+    other_ghosts: Sequence[smt.Term],
+) -> smt.Term:
+    """The disjunction of all literal combinations that validate the inclusion."""
+    if not literals:
+        return smt.TRUE
+
+    base_gamma = gamma
+    for other in other_ghosts:
+        base_gamma = base_gamma.bind(other.payload[0], base(other.sort))
+
+    accepted: list[smt.Term] = []
+    for bits in itertools.product((True, False), repeat=len(literals)):
+        combination = smt.and_(
+            *(lit if bit else smt.not_(lit) for lit, bit in zip(literals, bits))
+        )
+        if not checker.solver.is_satisfiable(smt.and_(*base_gamma.hypotheses(), combination)):
+            continue
+        candidate_gamma = base_gamma.bind(
+            ghost.payload[0],
+            RefinementType(ghost.sort, smt.substitute(combination, {ghost: nu(ghost.sort)})),
+        )
+        if checker.engine.automata_included(candidate_gamma, context_automaton, target):
+            accepted.append(combination)
+    if not accepted:
+        return smt.TRUE
+    return smt.or_(*accepted)

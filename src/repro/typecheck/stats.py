@@ -1,0 +1,95 @@
+"""Per-method verification statistics (the columns of Tables 1, 3 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class MethodStats:
+    """Statistics collected while checking one ADT method."""
+
+    method: str = ""
+    branches: int = 0
+    operator_applications: int = 0
+    smt_queries: int = 0
+    fa_inclusion_checks: int = 0
+    average_fa_size: float = 0.0
+    smt_time_seconds: float = 0.0
+    fa_time_seconds: float = 0.0
+    total_time_seconds: float = 0.0
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "Method": self.method,
+            "#Branch": self.branches,
+            "#App": self.operator_applications,
+            "#SAT": self.smt_queries,
+            "#Inc": self.fa_inclusion_checks,
+            "avg. sFA": round(self.average_fa_size, 1),
+            "tSAT (s)": round(self.smt_time_seconds, 2),
+            "tInc (s)": round(self.fa_time_seconds, 2),
+            "t (s)": round(self.total_time_seconds, 2),
+        }
+
+
+@dataclass
+class MethodResult:
+    """The outcome of verifying one method against its HAT specification."""
+
+    method: str
+    verified: bool
+    error: Optional[str] = None
+    stats: MethodStats = field(default_factory=MethodStats)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.verified
+
+
+@dataclass
+class AdtStats:
+    """Aggregate statistics for a whole ADT implementation (Table 1 rows)."""
+
+    adt: str = ""
+    library: str = ""
+    num_methods: int = 0
+    num_ghosts: int = 0
+    invariant_size: int = 0
+    total_time_seconds: float = 0.0
+    all_verified: bool = True
+    method_results: list[MethodResult] = field(default_factory=list)
+
+    def hardest_method(self) -> Optional[MethodResult]:
+        """The most complex method (paper: second half of Table 1)."""
+        if not self.method_results:
+            return None
+        return max(
+            self.method_results,
+            key=lambda r: (r.stats.smt_queries, r.stats.branches, r.stats.operator_applications),
+        )
+
+    def as_row(self) -> dict[str, object]:
+        hardest = self.hardest_method()
+        row: dict[str, object] = {
+            "ADT": self.adt,
+            "Library": self.library,
+            "#Method": self.num_methods,
+            "#Ghost": self.num_ghosts,
+            "sI": self.invariant_size,
+            "ttotal (s)": round(self.total_time_seconds, 2),
+            "verified": self.all_verified,
+        }
+        if hardest is not None:
+            row.update(
+                {
+                    "#Branch": hardest.stats.branches,
+                    "#App": hardest.stats.operator_applications,
+                    "#SAT": hardest.stats.smt_queries,
+                    "#FA⊆": hardest.stats.fa_inclusion_checks,
+                    "avg. sFA": round(hardest.stats.average_fa_size, 1),
+                    "tSAT (s)": round(hardest.stats.smt_time_seconds, 2),
+                    "tFA⊆ (s)": round(hardest.stats.fa_time_seconds, 2),
+                }
+            )
+        return row

@@ -1,0 +1,53 @@
+"""repro.types — refinement types, HATs, typing contexts and subtyping."""
+
+from .rtypes import (
+    EffectType,
+    FunType,
+    GhostArrow,
+    HatType,
+    Intersection,
+    RefinementType,
+    Type,
+    base,
+    cases_of,
+    erase,
+    function_signature,
+    nu,
+    singleton,
+    strip_ghosts,
+)
+from .context import (
+    Binding,
+    BuiltinContext,
+    PureOpContext,
+    PureOpSpec,
+    TypingContext,
+    TypingError,
+    uninterpreted_pure_op,
+)
+from .subtyping import SubtypingEngine
+
+__all__ = [
+    "EffectType",
+    "FunType",
+    "GhostArrow",
+    "HatType",
+    "Intersection",
+    "RefinementType",
+    "Type",
+    "base",
+    "cases_of",
+    "erase",
+    "function_signature",
+    "nu",
+    "singleton",
+    "strip_ghosts",
+    "Binding",
+    "BuiltinContext",
+    "PureOpContext",
+    "PureOpSpec",
+    "TypingContext",
+    "TypingError",
+    "uninterpreted_pure_op",
+    "SubtypingEngine",
+]

@@ -1,0 +1,70 @@
+"""Tests for the evaluation runner, the table formatters and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.evaluation.runner import run_benchmark, run_evaluation
+from repro.evaluation.tables import negatives_table, render_all, table1, table2, table3, table4
+from repro.suite.registry import all_benchmarks, benchmark_by_key
+from repro.suite.set_kvstore import set_kvstore
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """An evaluation over two fast rows (keeps the test suite quick)."""
+    benches = [benchmark_by_key("Set/KVStore"), benchmark_by_key("LazySet/Set")]
+    return run_evaluation(benches)
+
+
+def test_registry_contents():
+    keys = [b.key for b in all_benchmarks()]
+    assert "Set/KVStore" in keys
+    assert "FileSystem/KVStore" in keys
+    assert len(keys) >= 7
+    assert len(all_benchmarks(include_slow=False)) < len(keys)
+    with pytest.raises(KeyError):
+        benchmark_by_key("Nope/Nothing")
+
+
+def test_run_benchmark_single_row():
+    stats, negatives = run_benchmark(set_kvstore())
+    assert stats.all_verified
+    assert negatives and all(n.rejected for n in negatives)
+
+
+def test_report_and_tables(small_report):
+    assert small_report.all_verified
+    assert small_report.all_negatives_rejected
+    assert small_report.total_time_seconds > 0
+
+    t1 = table1(small_report)
+    assert "Set" in t1 and "KVStore" in t1 and "#SAT" in t1
+    t3 = table3(small_report)
+    assert "insert" in t3 and "lazy_insert" in t3
+    t4 = table4(small_report)
+    assert "Method" in t4  # header renders even with no rows in this subset
+    t2 = table2()
+    assert "FileSystem" in t2
+    neg = negatives_table(small_report)
+    assert "insert_bad" in neg
+    everything = render_all(small_report)
+    assert "Table 1" in everything and "Table 4" in everything
+
+    rows = small_report.per_method_rows()
+    assert any(row["Method"] == "insert" and row["verified"] for row in rows)
+
+
+def test_cli_list_and_table2(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Set/KVStore" in out and "FileSystem/KVStore" in out
+
+    assert cli_main(["table", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Representation invariant" in out
+
+
+def test_cli_check_single_method(capsys):
+    assert cli_main(["check", "Set/KVStore", "--method", "mem"]) == 0
+    out = capsys.readouterr().out
+    assert "VERIFIED" in out

@@ -1,0 +1,149 @@
+"""Tests for the MNF lowering."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.desugar import DesugarError, desugar_expression, desugar_program
+
+
+EFF = {"put", "exists", "get"}
+PURE = {"Path.parent", "File.isDir", "File.addChild"}
+
+
+def desugar(source):
+    return desugar_expression(source, effectful_ops=EFF, pure_ops=PURE)
+
+
+def collect(expr, cls):
+    return [node for node in expr.walk() if isinstance(node, cls)]
+
+
+def test_constant_and_variable():
+    assert desugar("42") == ast.Ret(ast.Const(42))
+    assert desugar("true") == ast.Ret(ast.TRUE)
+    assert desugar("()") == ast.Ret(ast.UNIT)
+    assert desugar("x") == ast.Ret(ast.Var("x"))
+    assert desugar('"/"') == ast.Ret(ast.Const("/"))
+
+
+def test_effectful_application_becomes_letop():
+    lowered = desugar("exists path")
+    assert isinstance(lowered, ast.LetOp)
+    assert lowered.op == "exists"
+    assert lowered.args == (ast.Var("path"),)
+    assert isinstance(lowered.body, ast.Ret)
+    assert lowered.body.value == ast.Var(lowered.name)
+
+
+def test_pure_application_becomes_letpure():
+    lowered = desugar("Path.parent path")
+    assert isinstance(lowered, ast.LetPure)
+    assert lowered.op == "Path.parent"
+
+
+def test_unknown_head_becomes_letapp():
+    lowered = desugar("deleteChildren path")
+    assert isinstance(lowered, ast.LetApp)
+    assert lowered.func == ast.Var("deleteChildren")
+
+
+def test_nested_arguments_are_named():
+    lowered = desugar("put parent_path (File.addChild bytes path)")
+    # the inner pure call must be bound before the effectful call
+    assert isinstance(lowered, ast.LetPure)
+    assert lowered.op == "File.addChild"
+    puts = collect(lowered, ast.LetOp)
+    assert len(puts) == 1 and puts[0].op == "put"
+    # the second argument of put refers (possibly through an alias binding)
+    # to the result of the pure call
+    assert isinstance(puts[0].args[1], ast.Var)
+
+
+def test_if_becomes_match_on_bool():
+    lowered = desugar("if exists path then false else true")
+    assert isinstance(lowered, ast.LetOp)
+    matches = collect(lowered, ast.Match)
+    assert len(matches) == 1
+    match = matches[0]
+    assert [b.constructor for b in match.branches] == ["true", "false"]
+    assert match.branches[0].body == ast.Ret(ast.FALSE)
+    assert match.branches[1].body == ast.Ret(ast.TRUE)
+
+
+def test_let_in_flattening():
+    lowered = desugar("let b = exists path in not b")
+    assert isinstance(lowered, ast.LetOp)
+    aliased = lowered.body
+    assert isinstance(aliased, ast.LetIn)
+    assert aliased.name == "b"
+    assert isinstance(aliased.bound, ast.Ret)
+    assert isinstance(aliased.body, ast.LetPure)
+    assert aliased.body.op == "not"
+
+
+def test_sequencing_distributes_over_match():
+    lowered = desugar("(if b then put k v else ()); exists k")
+    # both branches of the match must end with the exists call
+    matches = collect(lowered, ast.Match)
+    assert len(matches) == 1
+    for branch in matches[0].branches:
+        ops = [n.op for n in branch.body.walk() if isinstance(n, ast.LetOp)]
+        assert ops[-1] == "exists"
+
+
+def test_lambda_lowering():
+    lowered = desugar("fun (x : int) -> x + 1")
+    assert isinstance(lowered, ast.Ret)
+    assert isinstance(lowered.value, ast.Lambda)
+    assert lowered.value.param == "x"
+    assert isinstance(lowered.value.body, ast.LetPure)
+
+
+def test_program_lowering_and_function_value():
+    program = desugar_program(
+        """
+        let add (path : Path.t) (bytes : Bytes.t) : bool =
+          if exists path then false else true
+        let rec loop (n : int) : int = loop (n - 1)
+        """,
+        effectful_ops=EFF,
+        pure_ops=PURE,
+    )
+    assert program.names() == ["add", "loop"]
+    add = program["add"]
+    assert add.params == (("path", "Path.t"), ("bytes", "Bytes.t"))
+    assert not add.recursive
+    value = add.as_value()
+    assert isinstance(value, ast.Lambda)
+    assert program["loop"].recursive
+    assert isinstance(program["loop"].as_value(), ast.Fix)
+    assert "add" in program and "missing" not in program
+    with pytest.raises(KeyError):
+        program["missing"]
+
+
+def test_metrics_on_lowered_code():
+    lowered = desugar(
+        """
+        if exists path then false
+        else
+          let parent_path = Path.parent path in
+          if exists parent_path then true else false
+        """
+    )
+    assert ast.count_branches(lowered) == 3
+    assert ast.count_operator_applications(lowered) >= 3
+    assert "path" in ast.free_variables(lowered)
+
+
+def test_shadowing_across_sequencing_is_rejected():
+    # The continuation references the *outer* y, so pushing it under the inner
+    # binding named y would capture it; the desugarer refuses such programs.
+    with pytest.raises(DesugarError):
+        desugar("let y = 1 in let x = (let y = exists p in y) in y == x")
+
+
+def test_inner_rebinding_without_capture_is_fine():
+    lowered = desugar("let x = (let y = exists p in y) in let y = 1 in y == y")
+    assert isinstance(lowered, ast.LetOp)
+    assert lowered.op == "exists"

@@ -1,0 +1,163 @@
+"""Tests for the trace-based interpreter, using a small in-line KVStore model."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.desugar import desugar_expression, desugar_program
+from repro.lang.interp import (
+    DataValue,
+    Interpreter,
+    StuckError,
+    module_environment,
+)
+from repro.sfa.events import Event, Trace
+
+
+class KvModel:
+    """The put/exists/get semantics of Example 3.1, derived from the trace."""
+
+    def apply(self, op, trace, args):
+        if op == "put":
+            return ()
+        if op == "exists":
+            key = args[0]
+            return trace.any_event("put", lambda e: e.args[0] == key)
+        if op == "get":
+            key = args[0]
+            event = trace.last_event("put", lambda e: e.args[0] == key)
+            if event is None:
+                raise StuckError(f"get on absent key {key!r}")
+            return event.args[1]
+        raise StuckError(f"unknown operator {op}")
+
+
+EFF = {"put", "exists", "get"}
+PURE = {"Path.parent": lambda p: p.rsplit("/", 1)[0] or "/"}
+
+
+def run(source, env=None, trace=None):
+    expr = desugar_expression(source, effectful_ops=EFF, pure_ops=PURE)
+    interp = Interpreter(KvModel(), PURE)
+    return interp.run(expr, env or {}, trace or Trace())
+
+
+def test_pure_arithmetic_and_booleans():
+    assert run("1 + 2 - 4").value == -1
+    assert run("not (1 == 2)").value is True
+    assert run("(1 < 2) && (3 <= 3)").value is True
+    assert run("(1 > 2) || (3 >= 4)").value is False
+    assert run('"a" <> "b"').value is True
+
+
+def test_let_if_and_sequencing():
+    result = run('let x = 3 in if x == 3 then x + 1 else 0')
+    assert result.value == 4
+    result = run('put "/" "root"; exists "/"')
+    assert result.value is True
+    assert [e.op for e in result.trace] == ["put", "exists"]
+
+
+def test_effect_context_is_consulted():
+    context = Trace([Event("put", ("/a", "dir"), ())])
+    result = run('exists "/a"', trace=context)
+    assert result.value is True
+    assert len(result.emitted) == 1
+    assert result.emitted[0] == Event("exists", ("/a",), True)
+
+    missing = run('exists "/a"')
+    assert missing.value is False
+
+
+def test_get_returns_last_put_value_and_sticks_otherwise():
+    context = Trace([Event("put", ("/a", "v1"), ()), Event("put", ("/a", "v2"), ())])
+    assert run('get "/a"', trace=context).value == "v2"
+    with pytest.raises(StuckError):
+        run('get "/missing"')
+
+
+def test_pure_library_function():
+    assert run('Path.parent "/a/b.txt"').value == "/a"
+    assert run('Path.parent "/a"').value == "/"
+
+
+def test_lambda_application_and_closures():
+    result = run("let add = fun (x : int) -> fun (y : int) -> x + y in add 2 3")
+    assert result.value == 5
+
+
+def test_match_on_data_values():
+    expr = desugar_expression(
+        "match xs with | Nil -> 0 | Cons x rest -> x",
+        effectful_ops=EFF,
+    )
+    interp = Interpreter(KvModel())
+    assert interp.run(expr, {"xs": DataValue("Nil")}).value == 0
+    assert interp.run(expr, {"xs": DataValue("Cons", (7, DataValue("Nil")))}).value == 7
+    with pytest.raises(StuckError):
+        interp.run(expr, {"xs": DataValue("Other")})
+
+
+def test_unbound_variable_and_non_function_application():
+    with pytest.raises(StuckError):
+        run("nonexistent_variable")
+    with pytest.raises(StuckError):
+        run("let f = 3 in f 4")
+
+
+def test_module_environment_and_recursion():
+    program = desugar_program(
+        """
+        let rec countdown (n : int) : int =
+          if n == 0 then 0 else countdown (n - 1)
+        let start (u : unit) : int = countdown 5
+        """,
+        effectful_ops=EFF,
+    )
+    interp = Interpreter(KvModel())
+    env = module_environment(program, interp)
+    result = interp.call(env["start"], [()])
+    assert result.value == 0
+
+
+def test_step_budget_catches_divergence():
+    program = desugar_program(
+        "let rec loop (n : int) : int = loop n",
+        effectful_ops=EFF,
+    )
+    interp = Interpreter(KvModel(), max_steps=2000)
+    env = module_environment(program, interp)
+    with pytest.raises(StuckError):
+        interp.call(env["loop"], [1])
+
+
+def test_filesystem_add_example_from_the_paper():
+    """Runs the motivating `add` and checks the emitted traces of §2/Example 2.1."""
+    program = desugar_program(
+        """
+        let add (path : Path.t) (bytes : Bytes.t) : bool =
+          if exists path then false
+          else
+            let parent_path = Path.parent path in
+            if not (exists parent_path) then false
+            else
+              let b = get parent_path in
+              begin put path bytes; true end
+
+        let addbad (path : Path.t) (bytes : Bytes.t) : bool =
+          put path bytes; true
+        """,
+        effectful_ops=EFF,
+        pure_ops=PURE,
+    )
+    interp = Interpreter(KvModel(), PURE)
+    env = module_environment(program, interp)
+    alpha0 = Trace([Event("put", ("/", "bytesDir"), ())])
+
+    good = interp.call(env["add"], ["/a/b.txt", "bytesFile"], alpha0)
+    assert good.value is False  # parent "/a" does not exist yet
+    assert [e.op for e in good.emitted] == ["exists", "exists"]
+    assert [e.result for e in good.emitted] == [False, False]
+
+    bad = interp.call(env["addbad"], ["/a/b.txt", "bytesFile"], alpha0)
+    assert bad.value is True
+    assert [e.op for e in bad.emitted] == ["put"]

@@ -1,0 +1,126 @@
+"""Tests for the Mini-ML lexer and parser."""
+
+import pytest
+
+from repro.lang import lexer
+from repro.lang import parser as P
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in lexer.tokenize(source) if t.kind != "eof"]
+
+
+def test_tokenize_keywords_idents_and_symbols():
+    tokens = kinds("let rec add (path : Path.t) = if exists path then false else true")
+    assert ("keyword", "let") in tokens
+    assert ("keyword", "rec") in tokens
+    assert ("ident", "Path.t") in tokens
+    assert ("ident", "exists") in tokens
+    assert ("symbol", "(") in tokens and ("symbol", ":") in tokens
+
+
+def test_tokenize_primed_identifiers_and_strings():
+    tokens = kinds('let bytes\' = get "/" in bytes\'')
+    assert ("ident", "bytes'") in tokens
+    assert ("string", "/") in tokens
+
+
+def test_tokenize_comments():
+    tokens = kinds("let x = 1 (* a (* nested *) comment *) in -- trailing\n x")
+    texts = [t for _, t in tokens]
+    assert "comment" not in texts
+    assert "trailing" not in texts
+
+
+def test_tokenize_errors():
+    with pytest.raises(lexer.LexError):
+        lexer.tokenize('"unterminated')
+    with pytest.raises(lexer.LexError):
+        lexer.tokenize("let x = #bad")
+    with pytest.raises(lexer.LexError):
+        lexer.tokenize("(* never closed")
+
+
+def test_parse_simple_definition():
+    program = P.parse_program("let double (x : int) : int = x + x")
+    assert len(program.definitions) == 1
+    definition = program.definitions[0]
+    assert definition.name == "double"
+    assert definition.params == (("x", "int"),)
+    assert definition.return_type == "int"
+    assert isinstance(definition.body, P.SApp)
+    assert definition.body.func == P.SVar("+")
+
+
+def test_parse_if_let_and_application():
+    source = """
+    let add (path : Path.t) (bytes : Bytes.t) : bool =
+      if exists path then false
+      else
+        let parent_path = Path.parent path in
+        put path bytes;
+        true
+    """
+    program = P.parse_program(source)
+    body = program.definitions[0].body
+    assert isinstance(body, P.SIf)
+    assert isinstance(body.condition, P.SApp)
+    assert body.condition.func == P.SVar("exists")
+    else_branch = body.else_branch
+    assert isinstance(else_branch, P.SLet)
+    assert else_branch.name == "parent_path"
+    assert isinstance(else_branch.body, P.SSeq)
+
+
+def test_parse_match_and_fun():
+    source = """
+    let map_head f xs =
+      match xs with
+      | Nil -> Nil
+      | Cons x rest -> f x
+    let make = fun (x : int) -> x + 1
+    """
+    program = P.parse_program(source)
+    match_body = program.definitions[0].body
+    assert isinstance(match_body, P.SMatch)
+    assert [arm.constructor for arm in match_body.arms] == ["Nil", "Cons"]
+    assert match_body.arms[1].binders == ("x", "rest")
+    fun_body = program.definitions[1].body
+    assert isinstance(fun_body, P.SFun)
+    assert fun_body.param_type == "int"
+
+
+def test_parse_operators_and_precedence():
+    expr = P.parse_expression("a && not b || c == 1")
+    # ((a && (not b)) || (c == 1))
+    assert isinstance(expr, P.SApp) and expr.func == P.SVar("||")
+    left, right = expr.args
+    assert isinstance(left, P.SApp) and left.func == P.SVar("&&")
+    assert isinstance(right, P.SApp) and right.func == P.SVar("==")
+
+
+def test_parse_or_keyword_and_parens():
+    expr = P.parse_expression("(isRoot path) or not (exists path)")
+    assert isinstance(expr, P.SApp) and expr.func == P.SVar("||")
+
+
+def test_parse_unit_and_sequencing():
+    expr = P.parse_expression("put k v; ()")
+    assert isinstance(expr, P.SSeq)
+    assert isinstance(expr.second, P.SUnit)
+
+
+def test_parse_unit_parameter():
+    program = P.parse_program("let init () : unit = put root empty")
+    assert program.definitions[0].params == (("_unit", "unit"),)
+
+
+def test_parse_errors():
+    with pytest.raises(lexer.LexError):
+        P.parse_program("let = 3")
+    with pytest.raises(lexer.LexError):
+        P.parse_expression("match x with")
+    with pytest.raises(lexer.LexError):
+        P.parse_expression("if x then 1")
+    with pytest.raises(lexer.LexError):
+        P.parse_expression("1 2 extra )")

@@ -1,0 +1,127 @@
+"""Tests for the backing-library trace models and HAT signature tables."""
+
+import pytest
+
+from repro import smt
+from repro.smt.sorts import BOOL, BYTES, ELEM, PATH, UNIT, CHAR, NODE
+from repro.lang.interp import StuckError
+from repro.libraries import (
+    make_file_helpers,
+    make_graph,
+    make_kvstore,
+    make_memcell,
+    make_set,
+    merge_libraries,
+)
+from repro.sfa.events import Event, Trace
+from repro.types.rtypes import FunType, HatType, Intersection
+
+
+def test_kvstore_model_semantics():
+    library = make_kvstore(PATH, BYTES)
+    model = library.model()
+    trace = Trace([Event("put", ("/a", "blob"), ()), Event("put", ("/a", "blob2"), ())])
+    assert model.apply("exists", trace, ["/a"]) is True
+    assert model.apply("exists", trace, ["/b"]) is False
+    assert model.apply("get", trace, ["/a"]) == "blob2"
+    assert model.apply("put", trace, ["/c", "x"]) == ()
+    with pytest.raises(StuckError):
+        model.apply("get", trace, ["/missing"])
+    with pytest.raises(StuckError):
+        model.apply("unknown_op", trace, [])
+
+
+def test_kvstore_delta_shapes():
+    library = make_kvstore(PATH, BYTES)
+    assert set(library.delta.operators()) == {"put", "exists", "get"}
+    put_type = library.delta["put"]
+    assert isinstance(put_type, FunType)
+    exists_type = library.delta["exists"]
+    assert isinstance(exists_type.result, Intersection)
+    assert len(exists_type.result.cases) == 2
+    get_type = library.delta["get"]
+    assert isinstance(get_type.result, HatType)
+
+
+def test_kvstore_kind_specialised_get():
+    from repro.libraries.filelib import is_del, is_dir, is_file
+
+    kinds = [
+        ("dir", lambda v: smt.apply(is_dir, v)),
+        ("file", lambda v: smt.apply(is_file, v)),
+        ("deleted", lambda v: smt.apply(is_del, v)),
+    ]
+    library = make_kvstore(PATH, BYTES, get_kinds=kinds)
+    get_type = library.delta["get"]
+    assert isinstance(get_type.result, Intersection)
+    assert len(get_type.result.cases) == 3
+
+
+def test_set_model_semantics():
+    library = make_set(ELEM)
+    model = library.model()
+    trace = Trace([Event("insert", ("a",), ())])
+    assert model.apply("mem", trace, ["a"]) is True
+    assert model.apply("mem", trace, ["b"]) is False
+    assert model.apply("insert", trace, ["b"]) == ()
+
+
+def test_graph_model_semantics():
+    library = make_graph(NODE, CHAR)
+    model = library.model()
+    trace = Trace(
+        [
+            Event("add_node", ("q0",), ()),
+            Event("connect", ("q0", "a", "q1"), ()),
+            Event("disconnect", ("q0", "a", "q1"), ()),
+            Event("connect", ("q0", "b", "q2"), ()),
+        ]
+    )
+    assert model.apply("is_node", trace, ["q0"]) is True
+    assert model.apply("is_node", trace, ["q1"]) is False
+    assert model.apply("connected", trace, ["q0", "a"]) is False
+    assert model.apply("connected", trace, ["q0", "b"]) is True
+
+
+def test_memcell_model_semantics():
+    library = make_memcell()
+    model = library.model()
+    assert model.apply("write", Trace(), [3]) == ()
+    trace = Trace([Event("write", (3,), ()), Event("write", (7,), ())])
+    assert model.apply("read", trace, []) == 7
+    with pytest.raises(StuckError):
+        model.apply("read", Trace(), [])
+
+
+def test_file_helpers_pure_impls_and_axioms():
+    helpers = make_file_helpers()
+    impls = helpers.pure_impls
+    assert impls["Path.parent"]("/a/b.txt") == "/a"
+    assert impls["Path.parent"]("/a") == "/"
+    assert impls["Path.parent"]("/") == "/"
+    assert impls["Path.isRoot"]("/") is True
+    root_dir = impls["File.init"]()
+    assert impls["File.isDir"](root_dir)
+    child = impls["File.addChild"](root_dir, "/a")
+    assert impls["File.isDir"](child) and "/a" in child["children"]
+    deleted = impls["File.setDeleted"](child)
+    assert impls["File.isDel"](deleted)
+    assert not impls["File.isDir"](deleted)
+    assert len(helpers.axioms) >= 7
+    assert "/" in helpers.constants
+
+
+def test_merge_libraries_combines_everything():
+    merged = merge_libraries("SetAndCell", make_set(ELEM), make_memcell())
+    names = merged.effectful_op_names()
+    assert set(names) == {"insert", "mem", "read", "write"}
+    assert set(merged.delta.operators()) == {"insert", "mem", "read", "write"}
+    model = merged.model()
+    assert model.apply("mem", Trace(), ["a"]) is False
+    assert model.apply("write", Trace(), [1]) == ()
+
+
+def test_merge_libraries_rejects_conflicting_operators():
+    # two libraries declaring `insert` with different signatures cannot be merged
+    with pytest.raises(ValueError):
+        merge_libraries("Broken", make_set(ELEM), make_set(NODE, name="NodeSet"))

@@ -1,0 +1,31 @@
+"""Shared fixtures for the SFA test-suite: a tiny Set-library alphabet."""
+
+import pytest
+
+from repro import smt
+from repro.smt import sorts
+from repro.sfa import EventSignature, OperatorRegistry
+
+
+@pytest.fixture(scope="session")
+def set_ops() -> OperatorRegistry:
+    """The Set library of the paper: ``insert : Elem -> unit``, ``mem : Elem -> bool``."""
+    registry = OperatorRegistry()
+    registry.declare("insert", [("x", sorts.ELEM)], sorts.UNIT)
+    registry.declare("mem", [("x", sorts.ELEM)], smt.BOOL)
+    return registry
+
+
+@pytest.fixture(scope="session")
+def kv_ops() -> OperatorRegistry:
+    """The KVStore library: put / exists / get over paths and bytes."""
+    registry = OperatorRegistry()
+    registry.declare("put", [("key", sorts.PATH), ("value", sorts.BYTES)], sorts.UNIT)
+    registry.declare("exists", [("key", sorts.PATH)], smt.BOOL)
+    registry.declare("get", [("key", sorts.PATH)], sorts.BYTES)
+    return registry
+
+
+@pytest.fixture()
+def solver() -> smt.Solver:
+    return smt.Solver()

@@ -1,0 +1,118 @@
+"""Tests for literal collection, minterm construction and the alphabet transformation."""
+
+from repro import smt
+from repro.smt import sorts
+from repro.sfa import symbolic as S
+from repro.sfa.alphabet import AlphabetStats, build_alphabets, collect_literals
+
+
+def test_collect_literals_splits_context_and_event(set_ops):
+    insert = set_ops["insert"]
+    el = smt.var("cl_el", sorts.ELEM)
+    small = smt.declare("cl_small", [sorts.ELEM], smt.BOOL, method_predicate=True)
+    formula = S.and_(
+        S.event(insert, smt.eq(insert.arg_vars[0], el)),
+        S.guard(smt.apply(small, el)),
+    )
+    sets = collect_literals([formula], set_ops)
+    assert smt.apply(small, el) in sets.context_literals
+    assert smt.eq(insert.arg_vars[0], el) in sets.event_literals["insert"]
+    assert sets.event_literals["mem"] == ()
+    assert sets.total() == 2
+
+
+def test_context_only_atom_inside_event_is_context_literal(kv_ops):
+    put = kv_ops["put"]
+    p = smt.var("cl_p", sorts.PATH)
+    is_root = smt.declare("cl_isRoot", [sorts.PATH], smt.BOOL, method_predicate=True)
+    formula = S.event(put, smt.and_(smt.apply(is_root, p), smt.eq(put.arg_vars[0], p)))
+    sets = collect_literals([formula], kv_ops)
+    assert smt.apply(is_root, p) in sets.context_literals
+    assert smt.eq(put.arg_vars[0], p) in sets.event_literals["put"]
+
+
+def test_build_alphabets_unconstrained_ops_get_single_character(set_ops, solver):
+    el = smt.var("ab_el", sorts.ELEM)
+    formula = S.eventually(S.event_pinned(set_ops["insert"], [el]))
+    alphabets = build_alphabets(solver, [], [formula], set_ops)
+    assert len(alphabets) == 1  # no context literals => one context case
+    alphabet = alphabets[0]
+    # insert splits on (x == el) true/false; mem has no literals -> 1 character
+    insert_chars = [c for c in alphabet.characters if c.signature.name == "insert"]
+    mem_chars = [c for c in alphabet.characters if c.signature.name == "mem"]
+    assert len(insert_chars) == 2
+    assert len(mem_chars) == 1
+
+
+def test_build_alphabets_prunes_unsat_minterms(kv_ops):
+    is_dir = smt.declare("ab_isDir", [sorts.BYTES], smt.BOOL, method_predicate=True)
+    is_file = smt.declare("ab_isFile", [sorts.BYTES], smt.BOOL, method_predicate=True)
+    b = smt.var("ab_axb", sorts.BYTES)
+    solver = smt.Solver(
+        axioms=[smt.axiom("dir-xor-file", [b], smt.implies(smt.apply(is_dir, b), smt.not_(smt.apply(is_file, b))))]
+    )
+    put = kv_ops["put"]
+    val = put.arg_vars[1]
+    formula = S.or_(
+        S.eventually(S.event(put, smt.apply(is_dir, val))),
+        S.eventually(S.event(put, smt.apply(is_file, val))),
+    )
+    stats = AlphabetStats()
+    alphabets = build_alphabets(solver, [], [formula], kv_ops, stats=stats)
+    put_chars = [c for c in alphabets[0].characters if c.signature.name == "put"]
+    # 4 candidate minterms over {isDir(val), isFile(val)}, the dir&file one is pruned
+    assert len(put_chars) == 3
+    assert stats.minterm_candidates >= 4
+    assert stats.satisfiable_minterms < stats.minterm_candidates
+
+    unfiltered = build_alphabets(solver, [], [formula], kv_ops, filter_unsat=False)
+    put_chars_unfiltered = [c for c in unfiltered[0].characters if c.signature.name == "put"]
+    assert len(put_chars_unfiltered) == 4
+
+
+def test_build_alphabets_context_cases_split_on_guard_literals(set_ops, solver):
+    el = smt.var("ab2_el", sorts.ELEM)
+    special = smt.declare("ab2_special", [sorts.ELEM], smt.BOOL, method_predicate=True)
+    formula = S.or_(
+        S.guard(smt.apply(special, el)),
+        S.eventually(S.event_pinned(set_ops["insert"], [el])),
+    )
+    alphabets = build_alphabets(solver, [], [formula], set_ops)
+    assert len(alphabets) == 2  # special(el) true / false
+    cases = {alphabet.context_case[0][1] for alphabet in alphabets}
+    assert cases == {True, False}
+
+
+def test_build_alphabets_hypotheses_prune_context_cases(set_ops, solver):
+    el = smt.var("ab3_el", sorts.ELEM)
+    special = smt.declare("ab3_special", [sorts.ELEM], smt.BOOL, method_predicate=True)
+    formula = S.guard(smt.apply(special, el))
+    alphabets = build_alphabets(
+        solver, [smt.apply(special, el)], [formula], set_ops
+    )
+    # under the hypothesis special(el), the negative context case is unsatisfiable
+    assert len(alphabets) == 1
+    assert alphabets[0].context_case[0][1] is True
+
+
+def test_character_formula_and_truth(set_ops, solver):
+    el = smt.var("ab4_el", sorts.ELEM)
+    formula = S.eventually(S.event_pinned(set_ops["insert"], [el]))
+    alphabet = build_alphabets(solver, [], [formula], set_ops)[0]
+    insert_chars = [c for c in alphabet.characters if c.signature.name == "insert"]
+    eq_atom = smt.eq(set_ops["insert"].arg_vars[0], el)
+    truths = {c.truth()[eq_atom] for c in insert_chars}
+    assert truths == {True, False}
+    for c in insert_chars:
+        assert c.formula() in (eq_atom, smt.not_(eq_atom))
+
+
+def test_literal_budget_enforced(set_ops, solver):
+    import pytest
+    from repro.sfa.alphabet import AlphabetError
+
+    insert = set_ops["insert"]
+    el_vars = [smt.var(f"budget_el{i}", sorts.ELEM) for i in range(16)]
+    formula = S.or_(*[S.event_pinned(insert, [v]) for v in el_vars])
+    with pytest.raises(AlphabetError):
+        build_alphabets(solver, [], [formula], set_ops, max_literals=8)

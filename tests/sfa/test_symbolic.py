@@ -1,0 +1,196 @@
+"""Tests for the symbolic automata algebra and concrete trace acceptance."""
+
+import pytest
+
+from repro import smt
+from repro.smt import sorts
+from repro.sfa import Trace, event
+from repro.sfa import symbolic as S
+
+
+def insert_sig(set_ops):
+    return set_ops["insert"]
+
+
+def mem_sig(set_ops):
+    return set_ops["mem"]
+
+
+def lazyset_invariant(set_ops, el):
+    """I_LSet(el) = □(⟨insert ∼el⟩ ⟹ ◯ ¬ ♦ ⟨insert ∼el⟩) — never insert twice."""
+    ins = S.event_pinned(insert_sig(set_ops), [el])
+    return S.globally(S.implies(ins, S.next_(S.not_(S.eventually(ins)))))
+
+
+def test_smart_constructor_normalisation(set_ops):
+    a = S.event(insert_sig(set_ops))
+    b = S.event(mem_sig(set_ops))
+    assert S.and_(a, b) is S.and_(b, a)
+    assert S.and_(a, S.TOP) is a
+    assert S.and_(a, S.BOT) is S.BOT
+    assert S.or_(a, S.BOT) is a
+    assert S.or_(a, S.TOP) is S.TOP
+    assert S.not_(S.not_(a)) is a
+    assert S.not_(S.TOP) is S.BOT
+    assert S.concat(a, S.BOT) is S.BOT
+    assert S.event(insert_sig(set_ops), smt.FALSE) is S.BOT
+
+
+def test_event_pinned_builds_equality_qualifier(set_ops):
+    el = smt.var("el", sorts.ELEM)
+    atom = S.event_pinned(insert_sig(set_ops), [el])
+    assert atom.kind == S.K_EVENT
+    signature, phi = atom.payload
+    assert signature.name == "insert"
+    assert phi is smt.eq(signature.arg_vars[0], el)
+
+
+def test_event_pinned_by_name_and_result(set_ops):
+    el = smt.var("el", sorts.ELEM)
+    atom = S.event_pinned(mem_sig(set_ops), {"x": el}, result=smt.TRUE)
+    _, phi = atom.payload
+    assert smt.eq(mem_sig(set_ops).arg_vars[0], el) in phi.children
+
+
+def test_operators_and_context_vars(set_ops):
+    el = smt.var("el", sorts.ELEM)
+    inv = lazyset_invariant(set_ops, el)
+    assert {sig.name for sig in inv.operators()} == {"insert"}
+    assert inv.context_vars() == {el}
+
+
+def test_substitute_context_variable(set_ops):
+    el = smt.var("el", sorts.ELEM)
+    other = smt.var("other", sorts.ELEM)
+    inv = lazyset_invariant(set_ops, el)
+    replaced = S.substitute(inv, {el: other})
+    assert replaced.context_vars() == {other}
+    assert S.substitute(replaced, {other: el}) is inv
+
+
+def test_substitute_rejects_formal_capture(set_ops):
+    sig = insert_sig(set_ops)
+    atom = S.event(sig, smt.eq(sig.arg_vars[0], smt.var("el", sorts.ELEM)))
+    with pytest.raises(ValueError):
+        S.substitute(atom, {sig.arg_vars[0]: smt.var("z", sorts.ELEM)})
+
+
+def test_size_counts_atoms_and_connectives(set_ops):
+    el = smt.var("el", sorts.ELEM)
+    inv = lazyset_invariant(set_ops, el)
+    assert S.size(inv) > 5
+
+
+# -- concrete trace acceptance ----------------------------------------------------------
+
+
+def test_acceptance_of_lazyset_invariant(set_ops):
+    el = smt.var("el", sorts.ELEM)
+    inv = lazyset_invariant(set_ops, el)
+    env = {el: "a"}
+
+    assert S.accepts(inv, Trace(), env)
+    assert S.accepts(inv, Trace([event("insert", "a", result=())]), env)
+    assert S.accepts(
+        inv,
+        Trace([event("insert", "b", result=()), event("insert", "a", result=())]),
+        env,
+    )
+    assert not S.accepts(
+        inv,
+        Trace([event("insert", "a", result=()), event("insert", "a", result=())]),
+        env,
+    )
+    assert not S.accepts(
+        inv,
+        Trace(
+            [
+                event("insert", "a", result=()),
+                event("insert", "b", result=()),
+                event("insert", "a", result=()),
+            ]
+        ),
+        env,
+    )
+
+
+def test_acceptance_of_eventually_and_last(set_ops):
+    sig = insert_sig(set_ops)
+    el = smt.var("el", sorts.ELEM)
+    env = {el: "a"}
+    saw_el = S.eventually(S.event_pinned(sig, [el]))
+    assert not S.accepts(saw_el, Trace(), env)
+    assert S.accepts(saw_el, Trace([event("insert", "a", result=())]), env)
+    assert S.accepts(
+        saw_el,
+        Trace([event("insert", "b", result=()), event("insert", "a", result=())]),
+        env,
+    )
+    assert not S.accepts(saw_el, Trace([event("insert", "b", result=())]), env)
+
+    exactly_one = S.and_(S.event_pinned(sig, [el]), S.last())
+    assert S.accepts(exactly_one, Trace([event("insert", "a", result=())]), env)
+    assert not S.accepts(
+        exactly_one,
+        Trace([event("insert", "a", result=()), event("insert", "b", result=())]),
+        env,
+    )
+
+
+def test_acceptance_of_concatenation(set_ops):
+    sig = insert_sig(set_ops)
+    el = smt.var("el", sorts.ELEM)
+    env = {el: "a"}
+    prefix_any = S.any_trace()
+    formula = S.concat(prefix_any, S.and_(S.event_pinned(sig, [el]), S.last()))
+    # any history followed by exactly one insert of el
+    assert S.accepts(formula, Trace([event("insert", "a", result=())]), env)
+    assert S.accepts(
+        formula,
+        Trace([event("insert", "b", result=()), event("insert", "a", result=())]),
+        env,
+    )
+    assert not S.accepts(formula, Trace([event("insert", "b", result=())]), env)
+    assert not S.accepts(formula, Trace(), env)
+
+
+def test_acceptance_with_result_qualifier(set_ops):
+    sig = mem_sig(set_ops)
+    el = smt.var("el", sorts.ELEM)
+    env = {el: "a"}
+    mem_false = S.event_pinned(sig, [el], result=smt.FALSE)
+    formula = S.eventually(mem_false)
+    assert S.accepts(formula, Trace([event("mem", "a", result=False)]), env)
+    assert not S.accepts(formula, Trace([event("mem", "a", result=True)]), env)
+    assert not S.accepts(formula, Trace([event("mem", "b", result=False)]), env)
+
+
+def test_acceptance_with_method_predicate_interpretation(kv_ops):
+    put = kv_ops["put"]
+    is_dir = smt.declare("isDirSym", [sorts.BYTES], smt.BOOL, method_predicate=True)
+    key = smt.var("k_sym", sorts.PATH)
+    formula = S.eventually(
+        S.event(
+            put,
+            smt.and_(smt.eq(put.arg_vars[0], key), smt.apply(is_dir, put.arg_vars[1])),
+        )
+    )
+    env = {key: "/a"}
+    interp = {"isDirSym": lambda data: data.get("kind") == "dir"}
+    dir_bytes = {"kind": "dir"}
+    file_bytes = {"kind": "file"}
+    assert S.accepts(formula, Trace([event("put", "/a", dir_bytes, result=())]), env, interp)
+    assert not S.accepts(formula, Trace([event("put", "/a", file_bytes, result=())]), env, interp)
+    assert not S.accepts(formula, Trace([event("put", "/b", dir_bytes, result=())]), env, interp)
+
+
+def test_trace_helpers():
+    t = Trace([event("put", "/", "root", result=())])
+    t2 = t.append(event("exists", "/a", result=False))
+    assert len(t) == 1 and len(t2) == 2
+    assert t2.any_event("exists")
+    assert t2.last_event("put").args[0] == "/"
+    assert t2.filter("exists")[0].result is False
+    assert t2.suffix(1).events[0].op == "exists"
+    assert Trace([event("a")]) == Trace([event("a")])
+    assert hash(Trace([event("a")])) == hash(Trace([event("a")]))

@@ -1,0 +1,139 @@
+"""Tests for the Fourier–Motzkin linear arithmetic module."""
+
+import itertools
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro import smt
+from repro.smt import arith
+
+x = smt.var("ar_x", smt.INT)
+y = smt.var("ar_y", smt.INT)
+z = smt.var("ar_z", smt.INT)
+
+
+def test_linearize_simple():
+    coeffs, const = arith.linearize(smt.add(x, smt.int_const(3)))
+    assert coeffs == {x: Fraction(1)}
+    assert const == 3
+
+
+def test_linearize_sub_and_mul():
+    coeffs, const = arith.linearize(smt.sub(smt.mul(2, x), smt.add(y, smt.int_const(1))))
+    assert coeffs == {x: Fraction(2), y: Fraction(-1)}
+    assert const == -1
+
+
+def test_linearize_cancellation():
+    coeffs, const = arith.linearize(smt.sub(x, x))
+    assert coeffs == {}
+    assert const == 0
+
+
+def test_consistent_chain():
+    lits = [(smt.lt(x, y), True), (smt.lt(y, z), True), (smt.lt(x, z), True)]
+    assert arith.check_arith(lits)
+
+
+def test_inconsistent_cycle():
+    lits = [(smt.lt(x, y), True), (smt.lt(y, z), True), (smt.lt(z, x), True)]
+    assert not arith.check_arith(lits)
+
+
+def test_inconsistent_strict_self():
+    assert not arith.check_arith([(smt.lt(x, x), True)])
+
+
+def test_equalities_and_bounds():
+    lits = [
+        (smt.eq(x, smt.int_const(3)), True),
+        (smt.le(x, smt.int_const(2)), True),
+    ]
+    assert not arith.check_arith(lits)
+    lits_ok = [
+        (smt.eq(x, smt.int_const(3)), True),
+        (smt.le(x, smt.int_const(5)), True),
+    ]
+    assert arith.check_arith(lits_ok)
+
+
+def test_negated_atoms():
+    # not (x <= y) and not (y < x) is inconsistent
+    lits = [(smt.le(x, y), False), (smt.lt(y, x), False)]
+    assert not arith.check_arith(lits)
+
+
+def test_disequality_split():
+    # x != (x + y) - y is inconsistent once linearised; x != y alone is fine
+    same_value = smt.sub(smt.add(x, y), y)
+    assert not arith.check_arith([(smt.eq(x, same_value), False)])
+    assert arith.check_arith([(smt.eq(x, y), False)])
+
+
+def test_integer_tightening_on_strict_bounds():
+    # x < y and y < x + 1 has a rational solution but no integer one;
+    # tightening strict bounds makes FM refute it.
+    lits = [(smt.lt(x, y), True), (smt.lt(y, smt.add(x, smt.int_const(1))), True)]
+    assert not arith.check_arith(lits)
+
+
+def test_extra_equalities_from_euf():
+    lits = [(smt.lt(x, y), True)]
+    assert not arith.check_arith(lits, extra_equalities=[(x, y)])
+
+
+def test_nonlinear_terms_do_not_crash():
+    length = smt.declare("ar_len", [smt.sorts.ELEM], smt.INT)
+    e = smt.var("ar_e", smt.sorts.ELEM)
+    lits = [(smt.lt(smt.apply(length, e), smt.int_const(0)), True)]
+    # treated as an opaque variable; satisfiable
+    assert arith.check_arith(lits)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["le", "lt"]),
+            st.sampled_from([0, 1, 2]),
+            st.sampled_from([0, 1, 2]),
+            st.integers(min_value=-3, max_value=3),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_difference_constraints_match_brute_force(specs):
+    """x_i - x_j <= c (or <) systems: compare FM against small-domain search."""
+    variables = [x, y, z]
+    lits = []
+    for op, i, j, c in specs:
+        lhs = smt.sub(variables[i], variables[j])
+        rhs = smt.int_const(c)
+        atom = smt.le(lhs, rhs) if op == "le" else smt.lt(lhs, rhs)
+        lits.append((atom, True))
+    fm_result = arith.check_arith(lits)
+
+    domain = range(-4, 5)
+    brute = False
+    for vals in itertools.product(domain, repeat=3):
+        ok = True
+        for op, i, j, c in specs:
+            diff = vals[i] - vals[j]
+            if op == "le" and not diff <= c:
+                ok = False
+                break
+            if op == "lt" and not diff < c:
+                ok = False
+                break
+        if ok:
+            brute = True
+            break
+    # FM over difference constraints with integer tightening is exact as long
+    # as a solution exists within the searched window; refutations must agree.
+    if not fm_result:
+        assert not brute
+    if brute:
+        assert fm_result

@@ -1,0 +1,96 @@
+"""Tests for the congruence closure engine."""
+
+from repro import smt
+from repro.smt import sorts
+from repro.smt.euf import CongruenceClosure, check_euf, implied_int_equalities
+
+
+ELEM = sorts.ELEM
+f = smt.declare("euf_f", [ELEM], ELEM)
+g = smt.declare("euf_g", [ELEM, ELEM], ELEM)
+p = smt.declare("euf_p", [ELEM], smt.BOOL, method_predicate=True)
+
+a = smt.data_const("euf_a", ELEM)
+b = smt.data_const("euf_b", ELEM)
+x = smt.var("euf_x", ELEM)
+y = smt.var("euf_y", ELEM)
+z = smt.var("euf_z", ELEM)
+
+
+def test_basic_transitivity():
+    cc = CongruenceClosure()
+    cc.assert_equal(x, y)
+    cc.assert_equal(y, z)
+    assert cc.are_equal(x, z)
+    assert not cc.are_equal(x, a)
+
+
+def test_congruence_of_function_applications():
+    cc = CongruenceClosure()
+    cc.assert_equal(x, y)
+    assert cc.are_equal(smt.apply(f, x), smt.apply(f, y))
+    assert cc.are_equal(smt.apply(g, x, z), smt.apply(g, y, z))
+    assert not cc.are_equal(smt.apply(g, x, z), smt.apply(g, z, x))
+
+
+def test_nested_congruence():
+    cc = CongruenceClosure()
+    cc.assert_equal(x, smt.apply(f, y))
+    cc.assert_equal(y, z)
+    assert cc.are_equal(smt.apply(f, x), smt.apply(f, smt.apply(f, z)))
+
+
+def test_disequality_conflict():
+    cc = CongruenceClosure()
+    cc.assert_equal(x, y)
+    cc.assert_distinct(x, y)
+    assert not cc.is_consistent()
+
+
+def test_distinct_data_constants_conflict():
+    cc = CongruenceClosure()
+    cc.assert_equal(a, b)
+    assert not cc.is_consistent()
+
+
+def test_distinct_int_constants_conflict():
+    cc = CongruenceClosure()
+    cc.assert_equal(smt.int_const(1), smt.int_const(2))
+    assert not cc.is_consistent()
+
+
+def test_check_euf_predicate_polarity_conflict():
+    lits = [(smt.eq(x, y), True), (smt.apply(p, x), True), (smt.apply(p, y), False)]
+    result = check_euf(lits)
+    assert not result.consistent
+    assert result.conflict
+
+
+def test_check_euf_consistent_set():
+    lits = [
+        (smt.eq(x, y), True),
+        (smt.apply(p, x), True),
+        (smt.apply(p, z), False),
+        (smt.eq(x, z), False),
+    ]
+    assert check_euf(lits).consistent
+
+
+def test_check_euf_functional_consistency():
+    lits = [
+        (smt.eq(x, y), True),
+        (smt.eq(smt.apply(f, x), smt.apply(f, y)), False),
+    ]
+    assert not check_euf(lits).consistent
+
+
+def test_implied_int_equalities_propagates_shared_terms():
+    length = smt.declare("euf_len", [ELEM], smt.INT)
+    i = smt.var("euf_i", smt.INT)
+    lits = [
+        (smt.eq(x, y), True),
+        (smt.eq(smt.apply(length, x), i), True),
+    ]
+    implied = implied_int_equalities(lits)
+    pairs = {frozenset((lhs, rhs)) for lhs, rhs in implied}
+    assert frozenset((smt.apply(length, x), i)) in pairs

@@ -1,0 +1,96 @@
+"""Tests for the DPLL SAT core, including a brute-force equivalence property."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SatSolver
+
+
+def brute_force_satisfiable(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+def check_model(clauses, model):
+    return all(any(model[abs(l)] == (l > 0) for l in clause) for clause in clauses)
+
+
+def test_empty_problem_is_sat():
+    solver = SatSolver()
+    assert solver.solve() == {}
+
+
+def test_single_unit_clause():
+    solver = SatSolver()
+    solver.add_clause([1])
+    model = solver.solve()
+    assert model == {1: True}
+
+
+def test_simple_unsat():
+    solver = SatSolver()
+    solver.add_clause([1])
+    solver.add_clause([-1])
+    assert solver.solve() is None
+
+
+def test_requires_propagation_chain():
+    solver = SatSolver()
+    solver.add_clauses([[1], [-1, 2], [-2, 3], [-3, -4], [4, 5]])
+    model = solver.solve()
+    assert model is not None
+    assert model[1] and model[2] and model[3] and not model[4] and model[5]
+
+
+def test_unsat_pigeonhole_2_into_1():
+    # two pigeons, one hole: p1 in hole, p2 in hole, not both
+    solver = SatSolver()
+    solver.add_clauses([[1], [2], [-1, -2]])
+    assert solver.solve() is None
+
+
+def test_assumptions():
+    solver = SatSolver()
+    solver.add_clause([1, 2])
+    assert solver.solve(assumptions=[-1]) == {1: False, 2: True}
+    assert solver.solve(assumptions=[-1, -2]) is None
+    # assumptions do not persist
+    assert solver.solve() is not None
+
+
+def test_zero_literal_rejected():
+    solver = SatSolver()
+    try:
+        solver.add_clause([0])
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
+
+
+clause_strategy = st.lists(
+    st.integers(min_value=1, max_value=6).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(clause_strategy, min_size=0, max_size=14))
+def test_matches_brute_force(clauses):
+    solver = SatSolver()
+    solver.add_clauses(clauses)
+    solver.ensure_vars(6)
+    model = solver.solve()
+    expected = brute_force_satisfiable(clauses, 6)
+    if expected:
+        assert model is not None
+        assert check_model(clauses, model)
+    else:
+        assert model is None

@@ -1,0 +1,141 @@
+"""Unit tests for the hash-consed term algebra."""
+
+import pytest
+
+from repro import smt
+from repro.smt import sorts, terms
+
+
+def test_interning_gives_pointer_equality():
+    x1 = smt.var("x", smt.INT)
+    x2 = smt.var("x", smt.INT)
+    assert x1 is x2
+    y = smt.var("y", smt.INT)
+    assert smt.add(x1, y) is smt.add(x2, y)
+
+
+def test_var_same_name_different_sort_are_distinct():
+    assert smt.var("x", smt.INT) is not smt.var("x", smt.BOOL)
+
+
+def test_and_flattening_and_absorption():
+    p = smt.var("p", smt.BOOL)
+    q = smt.var("q", smt.BOOL)
+    assert smt.and_() is smt.TRUE
+    assert smt.and_(p) is p
+    assert smt.and_(p, smt.TRUE) is p
+    assert smt.and_(p, smt.FALSE) is smt.FALSE
+    assert smt.and_(smt.and_(p, q), p) is smt.and_(p, q)
+
+
+def test_or_flattening_and_absorption():
+    p = smt.var("p", smt.BOOL)
+    q = smt.var("q", smt.BOOL)
+    assert smt.or_() is smt.FALSE
+    assert smt.or_(p, smt.TRUE) is smt.TRUE
+    assert smt.or_(p, smt.FALSE) is p
+    assert smt.or_(p, q, p) is smt.or_(q, p)
+
+
+def test_double_negation():
+    p = smt.var("p", smt.BOOL)
+    assert smt.not_(smt.not_(p)) is p
+    assert smt.not_(smt.TRUE) is smt.FALSE
+
+
+def test_eq_constant_folding():
+    assert smt.eq(smt.int_const(3), smt.int_const(3)) is smt.TRUE
+    assert smt.eq(smt.int_const(3), smt.int_const(4)) is smt.FALSE
+    a = smt.data_const("a", sorts.ELEM)
+    b = smt.data_const("b", sorts.ELEM)
+    assert smt.eq(a, a) is smt.TRUE
+    assert smt.eq(a, b) is smt.FALSE
+
+
+def test_eq_is_oriented_canonically():
+    x = smt.var("x", smt.INT)
+    y = smt.var("y", smt.INT)
+    assert smt.eq(x, y) is smt.eq(y, x)
+
+
+def test_eq_on_formulas_becomes_iff():
+    p = smt.var("p", smt.BOOL)
+    q = smt.var("q", smt.BOOL)
+    assert smt.eq(p, q).kind == terms.IFF
+
+
+def test_eq_sort_mismatch_rejected():
+    with pytest.raises(ValueError):
+        smt.eq(smt.var("x", smt.INT), smt.var("p", smt.BOOL))
+
+
+def test_arith_constant_folding():
+    assert smt.add(smt.int_const(2), smt.int_const(3)).value == 5
+    assert smt.sub(smt.int_const(2), smt.int_const(3)).value == -1
+    assert smt.lt(smt.int_const(1), smt.int_const(2)) is smt.TRUE
+    assert smt.le(smt.int_const(3), smt.int_const(2)) is smt.FALSE
+    assert smt.mul(0, smt.var("x", smt.INT)).value == 0
+    assert smt.mul(1, smt.var("x", smt.INT)) is smt.var("x", smt.INT)
+
+
+def test_apply_checks_arity_and_sorts():
+    parent = smt.declare("parent_t", [sorts.PATH], sorts.PATH)
+    p = smt.var("p", sorts.PATH)
+    assert smt.apply(parent, p).sort is sorts.PATH
+    with pytest.raises(ValueError):
+        smt.apply(parent, p, p)
+    with pytest.raises(ValueError):
+        smt.apply(parent, smt.var("n", smt.INT))
+
+
+def test_declare_conflicting_signature_rejected():
+    smt.declare("only_once", [smt.INT], smt.BOOL)
+    with pytest.raises(ValueError):
+        smt.declare("only_once", [smt.INT, smt.INT], smt.BOOL)
+
+
+def test_substitute_replaces_variables():
+    isdir = smt.declare("isDirT", [sorts.BYTES], smt.BOOL, method_predicate=True)
+    v = smt.var("v", sorts.BYTES)
+    w = smt.var("w", sorts.BYTES)
+    phi = smt.and_(smt.apply(isdir, v), smt.not_(smt.eq(v, w)))
+    replaced = smt.substitute(phi, {v: w})
+    assert replaced is smt.and_(smt.apply(isdir, w), smt.not_(smt.eq(w, w)))
+    assert replaced is smt.FALSE  # eq(w, w) folds to TRUE, negation to FALSE
+
+
+def test_free_vars_and_forall():
+    x = smt.var("x", smt.INT)
+    y = smt.var("y", smt.INT)
+    body = smt.lt(x, y)
+    assert body.free_vars() == {x, y}
+    quantified = smt.forall([x], body)
+    assert quantified.free_vars() == {y}
+
+
+def test_atoms_collects_comparison_atoms():
+    x = smt.var("x", smt.INT)
+    y = smt.var("y", smt.INT)
+    p = smt.var("p", smt.BOOL)
+    phi = smt.or_(smt.and_(smt.lt(x, y), p), smt.not_(smt.eq(x, y)))
+    collected = smt.atoms(phi)
+    assert smt.lt(x, y) in collected
+    assert smt.eq(x, y) in collected
+    assert p in collected
+    assert len(collected) == 3
+
+
+def test_evaluate_partial_assignment():
+    p = smt.var("p", smt.BOOL)
+    q = smt.var("q", smt.BOOL)
+    phi = smt.or_(p, q)
+    assert smt.evaluate(phi, {p: True}) is True
+    assert smt.evaluate(phi, {p: False}) is None
+    assert smt.evaluate(phi, {p: False, q: False}) is False
+    assert smt.evaluate(smt.implies(p, q), {p: False}) is True
+
+
+def test_pretty_round_trips_syntax_shapes():
+    x = smt.var("x", smt.INT)
+    text = repr(smt.and_(smt.lt(x, smt.int_const(3)), smt.not_(smt.eq(x, smt.int_const(0)))))
+    assert "x" in text and "3" in text and "&&" in text

@@ -1,0 +1,90 @@
+"""Verification tests for the LazySet/Set, DFA/Graph and ConnectedGraph/Graph rows."""
+
+import pytest
+
+from repro.suite.dfa_graph import connected_graph_graph, dfa_graph
+from repro.suite.lazyset_set import lazyset_set
+
+
+def test_lazyset_set_all_methods_verify_and_bad_variant_rejected():
+    bench = lazyset_set()
+    checker = bench.make_checker()
+    stats = bench.verify_all(checker)
+    assert stats.all_verified, [(r.method, r.error) for r in stats.method_results if not r.verified]
+    assert stats.num_ghosts == 1
+    rejected = bench.verify_negative_variant("lazy_insert_bad", checker)
+    assert not rejected.verified
+
+
+def test_lazyset_thunk_chain_runs_and_respects_invariant():
+    from repro import smt
+    from repro.smt.sorts import ELEM
+    from repro.sfa import Trace, accepts
+
+    bench = lazyset_set()
+    interp = bench.interpreter()
+    module = bench.module(interp)
+    trace = Trace()
+    thunk = interp.call(module["new_thunk"], [()], trace)
+    thunk_value, trace = thunk.value, thunk.trace
+    for element in ["a", "b", "a", "c"]:
+        outcome = interp.call(module["lazy_insert"], [element, thunk_value], trace)
+        thunk_value, trace = outcome.value, outcome.trace
+    forced = interp.call(module["force"], [thunk_value], trace)
+    el = smt.var("el", ELEM)
+    for element in ["a", "b", "c"]:
+        assert accepts(bench.invariant, forced.trace, {el: element})
+    inserts = [e.args[0] for e in forced.trace if e.op == "insert"]
+    assert len(inserts) == len(set(inserts))
+
+
+def test_dfa_graph_all_methods_verify_and_bad_variant_rejected():
+    bench = dfa_graph()
+    checker = bench.make_checker()
+    stats = bench.verify_all(checker)
+    assert stats.all_verified, [(r.method, r.error) for r in stats.method_results if not r.verified]
+    assert stats.num_ghosts == 2
+    assert not bench.verify_negative_variant("add_transition_bad", checker).verified
+    hardest = stats.hardest_method()
+    assert hardest.method == "add_transition"
+
+
+def test_dfa_dynamic_determinism():
+    bench = dfa_graph()
+    interp = bench.interpreter()
+    module = bench.module(interp)
+    from repro.sfa import Trace
+
+    trace = Trace()
+    first = interp.call(module["add_transition"], ["q0", "a", "q1"], trace)
+    assert first.value is True
+    second = interp.call(module["add_transition"], ["q0", "a", "q2"], first.trace)
+    assert second.value is False  # refused: the edge is still live
+    removed = interp.call(module["del_transition"], ["q0", "a", "q1"], second.trace)
+    third = interp.call(module["add_transition"], ["q0", "a", "q2"], removed.trace)
+    assert third.value is True
+
+
+def test_connected_graph_all_methods_verify_and_bad_variant_rejected():
+    bench = connected_graph_graph()
+    checker = bench.make_checker()
+    stats = bench.verify_all(checker)
+    assert stats.all_verified, [(r.method, r.error) for r in stats.method_results if not r.verified]
+    assert not bench.verify_negative_variant("add_edge_bad", checker).verified
+
+
+def test_connected_graph_dynamic_policy():
+    bench = connected_graph_graph()
+    interp = bench.interpreter()
+    module = bench.module(interp)
+    from repro.sfa import Trace
+
+    trace = Trace()
+    refused = interp.call(module["add_edge"], ["q0", "a", "q1"], trace)
+    assert refused.value is False  # endpoints not yet added
+    trace = interp.call(module["add_state"], ["q0"], trace).trace
+    trace = interp.call(module["add_state"], ["q1"], trace).trace
+    accepted = interp.call(module["add_edge"], ["q0", "a", "q1"], trace)
+    assert accepted.value is True
+    self_loop = interp.call(module["add_edge"], ["q0", "a", "q0"], accepted.trace)
+    assert self_loop.value is False

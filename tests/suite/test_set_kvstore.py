@@ -1,0 +1,74 @@
+"""Verification tests for the Set/Stack/LazySet-on-KVStore benchmarks."""
+
+import pytest
+
+from repro.suite.set_kvstore import lazyset_kvstore, set_kvstore, stack_kvstore
+
+
+@pytest.fixture(scope="module")
+def set_bench():
+    return set_kvstore()
+
+
+def test_set_insert_preserves_invariant(set_bench):
+    result = set_bench.verify_method("insert")
+    assert result.verified, result.error
+    assert result.stats.smt_queries > 0
+    assert result.stats.fa_inclusion_checks > 0
+    assert result.stats.branches == 2
+
+
+def test_set_mem_and_empty_preserve_invariant(set_bench):
+    for method in ("mem", "empty"):
+        result = set_bench.verify_method(method)
+        assert result.verified, f"{method}: {result.error}"
+
+
+def test_set_unchecked_insert_is_rejected(set_bench):
+    result = set_bench.verify_negative_variant("insert_bad")
+    assert not result.verified
+    assert "postcondition" in (result.error or "") or "invariant" in (result.error or "")
+
+
+def test_set_whole_adt_summary(set_bench):
+    stats = set_bench.verify_all()
+    assert stats.all_verified
+    assert stats.num_methods == 3
+    assert stats.num_ghosts == 1
+    assert stats.invariant_size > 3
+    hardest = stats.hardest_method()
+    assert hardest is not None and hardest.method == "insert"
+
+
+def test_stack_push_verifies_and_bad_push_rejected():
+    bench = stack_kvstore()
+    assert bench.verify_method("push").verified
+    assert bench.verify_method("contains").verified
+    assert bench.verify_method("next").verified
+    assert bench.verify_method("is_empty").verified
+    assert not bench.verify_negative_variant("push_bad").verified
+
+
+def test_lazyset_kvstore_all_methods_verify():
+    bench = lazyset_kvstore()
+    stats = bench.verify_all()
+    assert stats.all_verified, [
+        (r.method, r.error) for r in stats.method_results if not r.verified
+    ]
+
+
+def test_dynamic_execution_respects_invariant(set_bench):
+    """Run the verified implementation and check the traces against the SFA."""
+    from repro import smt
+    from repro.smt.sorts import ELEM
+    from repro.sfa import accepts, Trace
+
+    interp = set_bench.interpreter()
+    module = set_bench.module(interp)
+    trace = Trace()
+    for element in ["a", "b", "a", "c", "b"]:
+        outcome = interp.call(module["insert"], [element], trace)
+        trace = outcome.trace
+    el = smt.var("el", ELEM)
+    for element in ["a", "b", "c"]:
+        assert accepts(set_bench.invariant, trace, {el: element})

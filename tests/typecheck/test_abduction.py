@@ -1,0 +1,59 @@
+"""Tests for the Abduce-style ghost variable instantiation (Algorithm 3)."""
+
+from repro import smt
+from repro.smt.sorts import ELEM, UNIT
+from repro.libraries import make_set
+from repro.sfa import symbolic as S
+from repro.typecheck.abduction import abduce_ghosts
+from repro.typecheck.checker import Checker
+from repro.types import GhostArrow, FunType, HatType, base
+from repro.types.context import TypingContext
+
+
+def make_checker():
+    library = make_set(ELEM)
+    checker = Checker(
+        operators=library.operators,
+        delta=library.delta,
+        pure_ops=library.pure_ops,
+    )
+    return library, checker
+
+
+def test_no_ghosts_is_a_noop():
+    _, checker = make_checker()
+    gamma = TypingContext()
+    effect = HatType(S.any_trace(), base(UNIT), S.any_trace())
+    new_gamma, subst = abduce_ghosts(checker, gamma, S.any_trace(), [], effect, {})
+    assert new_gamma is gamma
+    assert subst == {}
+
+
+def test_ghost_satisfied_without_strengthening():
+    """If the coverage already holds with an unconstrained ghost, keep ⊤."""
+    library, checker = make_checker()
+    gamma = TypingContext()
+    ghost = ("g", ELEM)
+    effect = HatType(S.any_trace(), base(UNIT), S.any_trace())
+    new_gamma, subst = abduce_ghosts(checker, gamma, S.any_trace(), [ghost], effect, {})
+    assert smt.var("g", ELEM) in subst
+    fresh = subst[smt.var("g", ELEM)]
+    assert fresh.payload[0] in new_gamma.names()
+
+
+def test_ghost_strengthened_to_validate_inclusion():
+    """The ghost must be constrained (g = x) for the inclusion to hold."""
+    library, checker = make_checker()
+    insert = library.operators["insert"]
+    x = smt.var("abd_x", ELEM)
+    g = smt.var("g", ELEM)
+    gamma = TypingContext().bind("abd_x", base(ELEM))
+    # context: only x has ever been inserted
+    context = S.globally(S.event(insert, smt.eq(insert.arg_vars[0], x)))
+    # operator precondition: only g has ever been inserted
+    precondition = S.globally(S.event(insert, smt.eq(insert.arg_vars[0], g)))
+    effect = HatType(precondition, base(UNIT), S.concat(precondition, S.any_trace()))
+    new_gamma, subst = abduce_ghosts(checker, gamma, context, [("g", ELEM)], effect, {})
+    fresh = subst[g]
+    specialised = S.substitute(precondition, {g: fresh})
+    assert checker.engine.automata_included(new_gamma, context, specialised)

@@ -1,0 +1,120 @@
+"""Unit tests for refinement types, HATs and typing contexts."""
+
+import pytest
+
+from repro import smt
+from repro.smt.sorts import BOOL, ELEM, INT, UNIT
+from repro.sfa import symbolic as S
+from repro.types import (
+    Binding,
+    FunType,
+    GhostArrow,
+    HatType,
+    Intersection,
+    PureOpContext,
+    RefinementType,
+    TypingContext,
+    TypingError,
+    base,
+    erase,
+    function_signature,
+    nu,
+    singleton,
+    strip_ghosts,
+)
+
+
+def test_refinement_type_instantiation_and_substitution():
+    x = smt.var("rt_x", INT)
+    ty = RefinementType(INT, smt.lt(nu(INT), x))
+    value = smt.int_const(3)
+    assert ty.instantiate(value) is smt.lt(value, x)
+    replaced = ty.substitute({x: smt.int_const(10)})
+    assert replaced.instantiate(value) is smt.TRUE  # 3 < 10 folds to true
+
+
+def test_singleton_and_base():
+    x = smt.var("rt_x2", ELEM)
+    ty = singleton(ELEM, x)
+    assert ty.instantiate(x) is smt.TRUE
+    assert base(ELEM).qualifier is smt.TRUE
+    assert erase(base(ELEM)) == "Elem"
+
+
+def test_hat_type_substitution_touches_automata():
+    ops = __import__("repro.sfa.signatures", fromlist=["OperatorRegistry"]).OperatorRegistry()
+    sig = ops.declare("rt_op", [("x", ELEM)], UNIT)
+    el = smt.var("rt_el", ELEM)
+    other = smt.var("rt_other", ELEM)
+    hat = HatType(
+        precondition=S.eventually(S.event_pinned(sig, [el])),
+        result=base(UNIT),
+        postcondition=S.eventually(S.event_pinned(sig, [el])),
+    )
+    renamed = hat.substitute({el: other})
+    assert renamed.precondition.context_vars() == {other}
+
+
+def test_intersection_requires_matching_base_types():
+    hat_bool = HatType(S.TOP, base(BOOL), S.TOP)
+    hat_unit = HatType(S.TOP, base(UNIT), S.TOP)
+    with pytest.raises(ValueError):
+        Intersection((hat_bool, hat_unit))
+    with pytest.raises(ValueError):
+        Intersection(())
+    assert len(Intersection((hat_bool, hat_bool)).cases) == 2
+
+
+def test_function_signature_decomposition():
+    hat = HatType(S.TOP, base(BOOL), S.TOP)
+    ty = GhostArrow("g", ELEM, FunType("x", base(ELEM), FunType("y", base(INT), hat)))
+    ghosts, params, effect = function_signature(ty)
+    assert ghosts == [("g", ELEM)]
+    assert [name for name, _ in params] == ["x", "y"]
+    assert effect is hat
+    assert strip_ghosts(ty)[0] == [("g", ELEM)]
+    assert "->" in erase(ty)
+
+
+def test_typing_context_bindings_and_hypotheses():
+    gamma = TypingContext()
+    gamma = gamma.bind("x", RefinementType(INT, smt.lt(nu(INT), smt.int_const(5))))
+    gamma = gamma.bind("flag", RefinementType(BOOL, smt.eq(nu(BOOL), smt.TRUE)))
+    gamma = gamma.assume(smt.lt(smt.var("x", INT), smt.int_const(3)))
+    assert "x" in gamma and "missing" not in gamma
+    assert gamma.term_of("x") is smt.var("x", INT)
+    hyps = gamma.hypotheses()
+    assert smt.lt(smt.var("x", INT), smt.int_const(5)) in hyps
+    assert len(hyps) == 3
+    assert gamma.names() == ["x", "flag"]
+    with pytest.raises(TypingError):
+        gamma.lookup("missing")
+
+
+def test_typing_context_infeasibility():
+    solver = smt.Solver()
+    gamma = TypingContext().bind("b", RefinementType(BOOL, smt.eq(nu(BOOL), smt.TRUE)))
+    assert not gamma.is_infeasible(solver)
+    contradictory = gamma.assume(smt.eq(smt.var("b", BOOL), smt.FALSE))
+    assert contradictory.is_infeasible(solver)
+
+
+def test_function_typed_bindings_have_no_logical_term():
+    thunk = FunType("u", base(UNIT), HatType(S.TOP, base(UNIT), S.TOP))
+    gamma = TypingContext().bind("t", thunk)
+    with pytest.raises(TypingError):
+        gamma.term_of("t")
+
+
+def test_pure_op_context():
+    parent = smt.declare("rt_parent", [ELEM], ELEM)
+    pure = PureOpContext()
+    pure.declare("parent_of", parent)
+    assert "parent_of" in pure
+    spec = pure["parent_of"]
+    x = smt.var("rt_x3", ELEM)
+    result = spec.result_type([x])
+    assert result.sort is ELEM
+    assert result.instantiate(smt.apply(parent, x)) is smt.TRUE
+    with pytest.raises(TypingError):
+        pure["unknown"]

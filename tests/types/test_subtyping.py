@@ -1,0 +1,77 @@
+"""Tests for the subtyping engine (base subtyping via SMT, HAT subtyping via SFA)."""
+
+from repro import smt
+from repro.smt.sorts import BOOL, ELEM, INT
+from repro.sfa import OperatorRegistry, symbolic as S
+from repro.sfa.inclusion import InclusionChecker
+from repro.types import HatType, RefinementType, SubtypingEngine, TypingContext, base, nu
+from repro.smt.sorts import UNIT
+
+
+def make_engine():
+    ops = OperatorRegistry()
+    ops.declare("sub_insert", [("x", ELEM)], UNIT)
+    solver = smt.Solver()
+    return SubtypingEngine(solver, InclusionChecker(solver, ops)), ops
+
+
+def test_base_subtyping():
+    engine, _ = make_engine()
+    gamma = TypingContext()
+    lt5 = RefinementType(INT, smt.lt(nu(INT), smt.int_const(5)))
+    lt10 = RefinementType(INT, smt.lt(nu(INT), smt.int_const(10)))
+    assert engine.base_subtype(gamma, lt5, lt10)
+    assert not engine.base_subtype(gamma, lt10, lt5)
+    assert engine.base_subtype(gamma, lt5, base(INT))
+
+
+def test_base_subtyping_uses_context_hypotheses():
+    engine, _ = make_engine()
+    bound = smt.var("sub_bound", INT)
+    gamma = TypingContext().bind("bound", RefinementType(INT, smt.lt(nu(INT), smt.int_const(0))))
+    under_bound = RefinementType(INT, smt.lt(nu(INT), smt.var("bound", INT)))
+    negative = RefinementType(INT, smt.lt(nu(INT), smt.int_const(0)))
+    assert engine.base_subtype(gamma, under_bound, negative)
+    assert not engine.base_subtype(TypingContext().bind("bound", base(INT)), under_bound, negative)
+
+
+def test_value_has_type():
+    engine, _ = make_engine()
+    gamma = TypingContext()
+    three = smt.int_const(3)
+    assert engine.value_has_type(gamma, three, RefinementType(INT, smt.lt(nu(INT), smt.int_const(5))))
+    assert not engine.value_has_type(gamma, three, RefinementType(INT, smt.lt(nu(INT), smt.int_const(2))))
+
+
+def test_hat_subtyping_pre_contravariant_post_covariant():
+    engine, ops = make_engine()
+    gamma = TypingContext()
+    el = smt.var("sub_el", ELEM)
+    insert_el = S.event_pinned(ops["sub_insert"], [el])
+    never_inserted = S.not_(S.eventually(insert_el))
+    anything = S.any_trace()
+
+    narrow_pre = HatType(never_inserted, base(BOOL), anything)
+    wide_pre = HatType(anything, base(BOOL), anything)
+    # precondition is contravariant: accepting *more* contexts is a subtype
+    assert engine.hat_subtype(gamma, wide_pre, narrow_pre)
+    assert not engine.hat_subtype(gamma, narrow_pre, wide_pre)
+
+    strict_post = HatType(anything, base(BOOL), never_inserted)
+    loose_post = HatType(anything, base(BOOL), anything)
+    # postcondition is covariant: producing *fewer* traces is a subtype
+    assert engine.hat_subtype(gamma, strict_post, loose_post)
+    assert not engine.hat_subtype(gamma, loose_post, strict_post)
+
+
+def test_automata_inclusion_respects_hypotheses():
+    engine, ops = make_engine()
+    el = smt.var("sub_el2", ELEM)
+    x = smt.var("sub_x2", ELEM)
+    insert = ops["sub_insert"]
+    only_x = S.globally(S.event(insert, smt.eq(insert.arg_vars[0], x)))
+    only_el = S.globally(S.event(insert, smt.eq(insert.arg_vars[0], el)))
+    free = TypingContext().bind("x", base(ELEM)).bind("el", base(ELEM))
+    assert not engine.automata_included(free, only_x, only_el)
+    equal = free.assume(smt.eq(x, el))
+    assert engine.automata_included(equal, only_x, only_el)
