@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating the paper's Tables 1–4.
+
+This package marker lets the table benchmarks use relative imports
+(``from .conftest import include_slow``) when collected by ``pytest`` from
+the repository root.
+"""

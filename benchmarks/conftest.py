@@ -17,6 +17,16 @@ def include_slow() -> bool:
     return os.environ.get("PYMARPLE_FULL", "0") == "1"
 
 
+def corpus_param(bench, *values, id):
+    """A parametrize entry carrying the ``slow`` marker for slow-corpus rows.
+
+    Slow rows only appear when ``PYMARPLE_FULL=1``; the marker lets a full run
+    still deselect them with ``-m "not slow"``.
+    """
+    marks = [pytest.mark.slow] if bench.slow else []
+    return pytest.param(*values, id=id, marks=marks)
+
+
 @pytest.fixture(scope="session")
 def corpus():
     """The benchmark corpus used for the table benchmarks."""

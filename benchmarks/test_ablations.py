@@ -57,6 +57,28 @@ def test_ablation_minterm_filtering(benchmark, filter_unsat):
     benchmark.extra_info["avg sFA"] = round(stats.average_transitions, 1)
 
 
+@pytest.mark.parametrize("strategy", ["guided", "exhaustive"])
+def test_ablation_enumeration_strategy(benchmark, strategy):
+    """Solver-guided AllSAT enumeration vs the per-candidate minterm walk.
+
+    Both must prove the same obligation; the extra info records the #SAT
+    saving that motivates the guided default.
+    """
+    bench = set_kvstore()
+    hyps, lhs, rhs = _insert_obligation(bench)
+
+    def run():
+        checker = InclusionChecker(smt.Solver(), bench.library.operators, strategy=strategy)
+        included = checker.check(hyps, lhs, rhs)
+        return checker, included
+
+    checker, included = benchmark(run)
+    assert included
+    benchmark.extra_info["#SAT"] = checker.solver.stats.queries
+    benchmark.extra_info["cache hits"] = checker.solver.stats.cache_hits
+    benchmark.extra_info["models enumerated"] = checker.solver.stats.models_enumerated
+
+
 @pytest.mark.parametrize("minimize", [False, True], ids=["raw", "minimized"])
 def test_ablation_dfa_minimization(benchmark, minimize):
     bench = set_kvstore()

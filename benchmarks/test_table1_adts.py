@@ -9,14 +9,17 @@ method's #Branch/#App/#SAT/#FA⊆/avg s_FA).
 import pytest
 
 from repro.suite.registry import all_benchmarks
-from .conftest import include_slow
+from .conftest import corpus_param, include_slow
 
 
 def _rows():
-    return [(bench.key, bench) for bench in all_benchmarks(include_slow=include_slow())]
+    return [
+        corpus_param(bench, bench.key, bench, id=bench.key)
+        for bench in all_benchmarks(include_slow=include_slow())
+    ]
 
 
-@pytest.mark.parametrize("key,bench", _rows(), ids=[key for key, _ in _rows()])
+@pytest.mark.parametrize("key,bench", _rows())
 def test_table1_row(benchmark, key, bench):
     def verify():
         return bench.verify_all()

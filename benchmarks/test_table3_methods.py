@@ -3,7 +3,7 @@
 import pytest
 
 from repro.suite.registry import all_benchmarks
-from .conftest import include_slow
+from .conftest import corpus_param, include_slow
 
 TABLE3_ADTS = ("Stack", "Set", "Queue", "MinSet", "LazySet")
 
@@ -14,13 +14,12 @@ def _methods():
         if bench.adt not in TABLE3_ADTS:
             continue
         for method in bench.specs:
-            rows.append((f"{bench.key}.{method}", bench, method))
+            label = f"{bench.key}.{method}"
+            rows.append(corpus_param(bench, label, bench, method, id=label))
     return rows
 
 
-@pytest.mark.parametrize(
-    "label,bench,method", _methods(), ids=[label for label, _, _ in _methods()]
-)
+@pytest.mark.parametrize("label,bench,method", _methods())
 def test_table3_method(benchmark, label, bench, method):
     checker = bench.make_checker()
 

@@ -8,7 +8,7 @@ run with ``PYMARPLE_FULL=1``.
 import pytest
 
 from repro.suite.registry import all_benchmarks
-from .conftest import include_slow
+from .conftest import corpus_param, include_slow
 
 TABLE4_ADTS = ("Heap", "FileSystem", "DFA", "ConnectedGraph")
 
@@ -19,13 +19,12 @@ def _methods():
         if bench.adt not in TABLE4_ADTS:
             continue
         for method in bench.specs:
-            rows.append((f"{bench.key}.{method}", bench, method))
+            label = f"{bench.key}.{method}"
+            rows.append(corpus_param(bench, label, bench, method, id=label))
     return rows
 
 
-@pytest.mark.parametrize(
-    "label,bench,method", _methods(), ids=[label for label, _, _ in _methods()]
-)
+@pytest.mark.parametrize("label,bench,method", _methods())
 def test_table4_method(benchmark, label, bench, method):
     checker = bench.make_checker()
 
@@ -41,13 +40,12 @@ def _negative_variants():
     rows = []
     for bench in all_benchmarks(include_slow=include_slow()):
         for variant in bench.negative_variants:
-            rows.append((f"{bench.key}.{variant}", bench, variant))
+            label = f"{bench.key}.{variant}"
+            rows.append(corpus_param(bench, label, bench, variant, id=label))
     return rows
 
 
-@pytest.mark.parametrize(
-    "label,bench,variant", _negative_variants(), ids=[l for l, _, _ in _negative_variants()]
-)
+@pytest.mark.parametrize("label,bench,variant", _negative_variants())
 def test_incorrect_variants_are_rejected(benchmark, label, bench, variant):
     """Example 2.1 and friends: the buggy implementations must fail to check."""
     checker = bench.make_checker()

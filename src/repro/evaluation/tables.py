@@ -32,7 +32,9 @@ TABLE1_COLUMNS = [
     "#Branch",
     "#App",
     "#SAT",
+    "#SATcache",
     "#FA⊆",
+    "#FAcache",
     "avg. sFA",
     "tSAT (s)",
     "tFA⊆ (s)",
@@ -72,7 +74,9 @@ TABLE34_COLUMNS = [
     "#Branch",
     "#App",
     "#SAT",
+    "#SATcache",
     "#Inc",
+    "#FAcache",
     "avg. sFA",
     "tSAT (s)",
     "tInc (s)",

@@ -15,6 +15,22 @@ inclusion check finitises it:
 
 Satisfiability is discharged by :class:`repro.smt.Solver`, which is where the
 ``#SAT`` statistic of the paper's tables comes from.
+
+Two enumeration strategies are available:
+
+* ``"guided"`` (the default) — solver-guided AllSAT enumeration via
+  :meth:`repro.smt.Solver.enumerate_models`: the base formula is encoded once
+  and blocking clauses walk the satisfiable assignments directly, so the
+  query count scales with the number of *satisfiable* minterms rather than
+  with 2^n candidates.  This is what allows the default literal budget to be
+  much larger than the exhaustive walk could afford.
+* ``"exhaustive"`` — the original per-candidate depth-first walk that
+  discharges one conjunction per SMT query (pruning unsatisfiable subtrees).
+  Kept as the reference oracle for the differential test-suite
+  (``tests/sfa/test_enumeration_diff.py``).
+
+Both strategies produce byte-identical alphabets (same context cases, same
+minterms, same order); the differential suite enforces this.
 """
 
 from __future__ import annotations
@@ -32,6 +48,28 @@ from .symbolic import Sfa
 
 class AlphabetError(RuntimeError):
     """Raised when the literal sets are too large to enumerate."""
+
+
+#: Default enumeration budget for the guided strategy, which scales with the
+#: number of *satisfiable* minterms rather than with 2^n candidates.
+DEFAULT_MAX_LITERALS = 24
+
+#: Default budget for the per-candidate exhaustive walk (and for
+#: ``filter_unsat=False``, which materialises every candidate): these paths
+#: really do pay 2^n, so they keep the original conservative cap.
+EXHAUSTIVE_MAX_LITERALS = 14
+
+#: The supported values of ``build_alphabets(..., strategy=...)``.
+STRATEGIES = ("guided", "exhaustive")
+
+
+def resolve_max_literals(max_literals: Optional[int], strategy: str, filter_unsat: bool) -> int:
+    """The effective literal budget: explicit value, else a strategy default."""
+    if max_literals is not None:
+        return max_literals
+    if strategy == "guided" and filter_unsat:
+        return DEFAULT_MAX_LITERALS
+    return EXHAUSTIVE_MAX_LITERALS
 
 
 @dataclass(frozen=True)
@@ -94,9 +132,16 @@ def collect_literals(
                 if not (equality.is_true or equality.is_false):
                     context.setdefault(equality, None)
 
+    # Canonical literal order (by content address): the alphabets — and with
+    # them the enumeration-cache keys and DFA-memo fingerprints — become
+    # independent of the order the formulas were supplied in, so e.g. the two
+    # directions of an equivalence check share every cache layer.
     return LiteralSets(
-        context_literals=tuple(context),
-        event_literals={name: tuple(bucket) for name, bucket in per_op.items()},
+        context_literals=tuple(sorted(context, key=lambda term: term.term_id)),
+        event_literals={
+            name: tuple(sorted(bucket, key=lambda term: term.term_id))
+            for name, bucket in per_op.items()
+        },
     )
 
 
@@ -159,6 +204,29 @@ class Alphabet:
 
     def index_of(self, character: Character) -> int:
         return self.characters.index(character)
+
+    def fingerprint(self) -> tuple:
+        """A hashable content address for this alphabet.
+
+        Terms are interned, so ``term_id`` identifies a literal globally; the
+        fingerprint therefore coincides for alphabets rebuilt from the same
+        literal sets (e.g. across the two directions of an equivalence check),
+        which is what the DFA compilation memo keys on.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            fp = (
+                tuple((lit.term_id, value) for lit, value in self.context_case),
+                tuple(
+                    (
+                        character.signature.name,
+                        tuple((lit.term_id, value) for lit, value in character.literal_values),
+                    )
+                    for character in self.characters
+                ),
+            )
+            self._fingerprint = fp
+        return fp
 
 
 @dataclass
@@ -225,8 +293,9 @@ def build_alphabets(
     operators: OperatorRegistry,
     *,
     extra_context_literals: Iterable[Term] = (),
-    max_literals: int = 14,
+    max_literals: Optional[int] = None,
     filter_unsat: bool = True,
+    strategy: str = "guided",
     stats: Optional[AlphabetStats] = None,
 ) -> list[Alphabet]:
     """Build one finite alphabet per satisfiable context case.
@@ -237,10 +306,23 @@ def build_alphabets(
     literal reading of Algorithm 1 that preserves completeness because a
     hypothesis has a fixed truth value in every model of Γ).
 
-    ``filter_unsat=False`` disables minterm pruning; it exists for the
-    ablation benchmark showing why Algorithm 1's satisfiability filter
+    ``strategy`` selects how satisfiable combinations are found: ``"guided"``
+    (solver-guided AllSAT enumeration over one incremental encoding) or
+    ``"exhaustive"`` (one SMT query per candidate conjunction, the reference
+    oracle for differential testing).  Both yield identical alphabets.
+
+    ``filter_unsat=False`` disables minterm pruning altogether; it exists for
+    the ablation benchmark showing why Algorithm 1's satisfiability filter
     matters.
+
+    ``max_literals=None`` picks a strategy-appropriate budget: the guided
+    enumerator affords :data:`DEFAULT_MAX_LITERALS`, while the exhaustive and
+    unfiltered paths (which genuinely pay 2^n queries/characters) keep the
+    conservative :data:`EXHAUSTIVE_MAX_LITERALS`.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown enumeration strategy {strategy!r}; expected one of {STRATEGIES}")
+    max_literals = resolve_max_literals(max_literals, strategy, filter_unsat)
     stats = stats if stats is not None else AlphabetStats()
     literal_sets = collect_literals(formulas, operators, extra_context_literals)
     if len(literal_sets.context_literals) > max_literals:
@@ -258,7 +340,15 @@ def build_alphabets(
     hypothesis_formula = smt.and_(*hypotheses)
     alphabets: list[Alphabet] = []
 
-    if filter_unsat:
+    if not filter_unsat:
+        context_cases: Iterable[tuple[tuple[Term, bool], ...]] = _signed_combinations(
+            literal_sets.context_literals
+        )
+    elif strategy == "guided":
+        context_cases = solver.enumerate_models(
+            literal_sets.context_literals, base=hypothesis_formula
+        )
+    else:
         context_cases = _satisfiable_combinations(
             solver,
             hypothesis_formula,
@@ -266,8 +356,6 @@ def build_alphabets(
             stats,
             count_candidates=False,
         )
-    else:
-        context_cases = _signed_combinations(literal_sets.context_literals)
 
     for context_case in context_cases:
         context_formula = smt.and_(
@@ -279,12 +367,17 @@ def build_alphabets(
         characters: list[Character] = []
         for signature in operators:
             literals = literal_sets.event_literals.get(signature.name, ())
-            if filter_unsat:
+            if not filter_unsat:
+                assignments: Iterable[tuple[tuple[Term, bool], ...]] = _signed_combinations(
+                    literals
+                )
+            elif strategy == "guided":
+                assignments = solver.enumerate_models(literals, base=context_formula)
+                stats.minterm_candidates += 1 << len(literals)
+            else:
                 assignments = _satisfiable_combinations(
                     solver, context_formula, literals, stats, count_candidates=True
                 )
-            else:
-                assignments = _signed_combinations(literals)
             for assignment in assignments:
                 if not filter_unsat:
                     stats.minterm_candidates += 1

@@ -19,7 +19,7 @@ the size statistics operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from .. import smt
@@ -32,6 +32,43 @@ from .symbolic import Sfa
 
 class CompilationError(RuntimeError):
     """Raised when the derivative construction does not converge."""
+
+
+@dataclass
+class DfaCache:
+    """Memoises :func:`compile_dfa` per ``(sfa_id, alphabet fingerprint)``.
+
+    The inclusion pipeline recompiles the same symbolic automaton over the
+    same alphabet constantly — the two directions of an equivalence check, the
+    repeated obligations of one method body, the invariant appearing on both
+    sides of consecutive checks — so a content-addressed memo removes whole
+    derivative constructions.  Compiled DFAs are immutable once built, so
+    sharing them is safe.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    max_entries: int = 4096
+    _store: dict[tuple, "Dfa"] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def get(self, key: tuple) -> Optional["Dfa"]:
+        dfa = self._store.get(key)
+        if dfa is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return dfa
+
+    def put(self, key: tuple, dfa: "Dfa") -> None:
+        if len(self._store) >= self.max_entries:
+            self._store.clear()
+        self._store[key] = dfa
 
 
 def nullable(formula: Sfa) -> bool:
@@ -107,8 +144,20 @@ def compile_dfa(
     alphabet: Alphabet,
     *,
     max_states: int = 20000,
+    cache: Optional[DfaCache] = None,
 ) -> Dfa:
-    """Compile a symbolic automaton into a complete DFA over ``alphabet``."""
+    """Compile a symbolic automaton into a complete DFA over ``alphabet``.
+
+    When ``cache`` is given, compilations are memoised per
+    ``(sfa_id, alphabet fingerprint)``; both ids are content addresses
+    (formulas and terms are hash-consed), so a hit is exact.
+    """
+    key: Optional[tuple] = None
+    if cache is not None:
+        key = (formula.sfa_id, alphabet.fingerprint())
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     context_truth = alphabet.context_truth()
     characters = alphabet.characters
 
@@ -139,7 +188,10 @@ def compile_dfa(
     # table is indexed by state id (processing order equals creation order
     # because the worklist is FIFO and every new state is appended once).
     accepting = frozenset(i for i, f in enumerate(order) if nullable(f))
-    return Dfa(num_chars=len(characters), transitions=transitions, accepting=accepting, start=0)
+    dfa = Dfa(num_chars=len(characters), transitions=transitions, accepting=accepting, start=0)
+    if cache is not None and key is not None:
+        cache.put(key, dfa)
+    return dfa
 
 
 def accepts_via_dfa(formula: Sfa, alphabet: Alphabet, word: list[Character]) -> bool:

@@ -24,9 +24,15 @@ from typing import Iterable, Optional, Sequence
 
 from .. import smt
 from ..smt.terms import Term
-from .alphabet import Alphabet, AlphabetError, AlphabetStats, build_alphabets
+from .alphabet import (
+    Alphabet,
+    AlphabetError,
+    AlphabetStats,
+    build_alphabets,
+    resolve_max_literals,
+)
 from .automata import Dfa
-from .derivatives import compile_dfa
+from .derivatives import DfaCache, compile_dfa
 from .signatures import OperatorRegistry
 from .symbolic import Sfa
 
@@ -41,6 +47,9 @@ class InclusionStats:
     context_cases: int = 0
     minterm_candidates: int = 0
     satisfiable_minterms: int = 0
+    #: DFA-compilation memo behaviour (per (sfa_id, alphabet fingerprint))
+    dfa_cache_hits: int = 0
+    dfa_cache_misses: int = 0
     fa_time_seconds: float = 0.0
 
     @property
@@ -56,6 +65,8 @@ class InclusionStats:
         self.context_cases += other.context_cases
         self.minterm_candidates += other.minterm_candidates
         self.satisfiable_minterms += other.satisfiable_minterms
+        self.dfa_cache_hits += other.dfa_cache_hits
+        self.dfa_cache_misses += other.dfa_cache_misses
         self.fa_time_seconds += other.fa_time_seconds
 
     def snapshot(self) -> "InclusionStats":
@@ -66,6 +77,8 @@ class InclusionStats:
             context_cases=self.context_cases,
             minterm_candidates=self.minterm_candidates,
             satisfiable_minterms=self.satisfiable_minterms,
+            dfa_cache_hits=self.dfa_cache_hits,
+            dfa_cache_misses=self.dfa_cache_misses,
             fa_time_seconds=self.fa_time_seconds,
         )
 
@@ -87,16 +100,19 @@ class InclusionChecker:
         *,
         minimize: bool = False,
         filter_unsat_minterms: bool = True,
-        max_literals: int = 14,
+        max_literals: Optional[int] = None,
+        strategy: str = "guided",
     ) -> None:
         self.solver = solver
         self.operators = operators
         self.minimize = minimize
         self.filter_unsat_minterms = filter_unsat_minterms
-        self.max_literals = max_literals
+        self.max_literals = resolve_max_literals(max_literals, strategy, filter_unsat_minterms)
+        self.strategy = strategy
         self.stats = InclusionStats()
         self.cache_hits = 0
         self._cache: dict[tuple, InclusionResult] = {}
+        self._dfa_cache = DfaCache()
 
     # -- the main entry point ----------------------------------------------------------
     def check(
@@ -138,6 +154,7 @@ class InclusionChecker:
             extra_context_literals=extra_context_literals,
             max_literals=self.max_literals,
             filter_unsat=self.filter_unsat_minterms,
+            strategy=self.strategy,
             stats=alphabet_stats,
         )
         self.stats.context_cases += alphabet_stats.context_cases
@@ -156,8 +173,12 @@ class InclusionChecker:
     # -- per-context-case check ---------------------------------------------------------
     def _check_under_alphabet(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
         start = time.perf_counter()
-        lhs_dfa = compile_dfa(lhs, alphabet)
-        rhs_dfa = compile_dfa(rhs, alphabet)
+        hits_before = self._dfa_cache.hits
+        misses_before = self._dfa_cache.misses
+        lhs_dfa = compile_dfa(lhs, alphabet, cache=self._dfa_cache)
+        rhs_dfa = compile_dfa(rhs, alphabet, cache=self._dfa_cache)
+        self.stats.dfa_cache_hits += self._dfa_cache.hits - hits_before
+        self.stats.dfa_cache_misses += self._dfa_cache.misses - misses_before
         if self.minimize:
             lhs_dfa = lhs_dfa.minimize()
             rhs_dfa = rhs_dfa.minimize()

@@ -75,8 +75,16 @@ class AdtBenchmark:
         )
 
     def make_checker(self, config: Optional[CheckerConfig] = None) -> Checker:
-        config = config or CheckerConfig(max_literals=self.max_literals)
-        config.max_literals = max(config.max_literals, self.max_literals)
+        from ..sfa.alphabet import resolve_max_literals
+
+        config = config or CheckerConfig()
+        # the benchmark's max_literals is a floor on top of the strategy default
+        resolved = resolve_max_literals(
+            config.max_literals,
+            config.enumeration_strategy,
+            config.filter_unsat_minterms,
+        )
+        config.max_literals = max(resolved, self.max_literals)
         all_constants = dict(self.library.constants)
         all_constants.update(self.constants)
         return Checker(

@@ -66,7 +66,11 @@ class CheckerConfig:
     minimize_automata: bool = False
     filter_unsat_minterms: bool = True
     prune_infeasible_branches: bool = True
-    max_literals: int = 14
+    #: None = a strategy-appropriate default (24 guided / 14 exhaustive)
+    max_literals: Optional[int] = None
+    #: how the alphabet transformation enumerates satisfiable combinations:
+    #: "guided" (solver-guided AllSAT) or "exhaustive" (per-candidate queries)
+    enumeration_strategy: str = "guided"
 
 
 class Checker:
@@ -94,6 +98,7 @@ class Checker:
             minimize=self.config.minimize_automata,
             filter_unsat_minterms=self.config.filter_unsat_minterms,
             max_literals=self.config.max_literals,
+            strategy=self.config.enumeration_strategy,
         )
         self.engine = SubtypingEngine(self.solver, self.inclusion)
 
@@ -141,7 +146,9 @@ class Checker:
             branches=ast.count_branches(definition.body),
             operator_applications=ast.count_operator_applications(definition.body),
             smt_queries=solver_after.queries - solver_before.queries,
+            smt_cache_hits=solver_after.cache_hits - solver_before.cache_hits,
             fa_inclusion_checks=inclusion_after.fa_inclusion_checks - inclusion_before.fa_inclusion_checks,
+            dfa_cache_hits=inclusion_after.dfa_cache_hits - inclusion_before.dfa_cache_hits,
             smt_time_seconds=solver_after.time_seconds - solver_before.time_seconds,
             fa_time_seconds=inclusion_after.fa_time_seconds - inclusion_before.fa_time_seconds,
             total_time_seconds=time.perf_counter() - start,

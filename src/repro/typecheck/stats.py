@@ -14,7 +14,11 @@ class MethodStats:
     branches: int = 0
     operator_applications: int = 0
     smt_queries: int = 0
+    #: SMT queries and model enumerations answered from the solver's caches
+    smt_cache_hits: int = 0
     fa_inclusion_checks: int = 0
+    #: DFA compilations answered from the (sfa_id, alphabet) memo
+    dfa_cache_hits: int = 0
     average_fa_size: float = 0.0
     smt_time_seconds: float = 0.0
     fa_time_seconds: float = 0.0
@@ -26,7 +30,9 @@ class MethodStats:
             "#Branch": self.branches,
             "#App": self.operator_applications,
             "#SAT": self.smt_queries,
+            "#SATcache": self.smt_cache_hits,
             "#Inc": self.fa_inclusion_checks,
+            "#FAcache": self.dfa_cache_hits,
             "avg. sFA": round(self.average_fa_size, 1),
             "tSAT (s)": round(self.smt_time_seconds, 2),
             "tInc (s)": round(self.fa_time_seconds, 2),
@@ -86,7 +92,9 @@ class AdtStats:
                     "#Branch": hardest.stats.branches,
                     "#App": hardest.stats.operator_applications,
                     "#SAT": hardest.stats.smt_queries,
+                    "#SATcache": hardest.stats.smt_cache_hits,
                     "#FA⊆": hardest.stats.fa_inclusion_checks,
+                    "#FAcache": hardest.stats.dfa_cache_hits,
                     "avg. sFA": round(hardest.stats.average_fa_size, 1),
                     "tSAT (s)": round(hardest.stats.smt_time_seconds, 2),
                     "tFA⊆ (s)": round(hardest.stats.fa_time_seconds, 2),

@@ -1,7 +1,9 @@
 """Unit and property tests for the explicit DFA algebra."""
 
 import itertools
+import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sfa.automata import Dfa, empty_dfa, universal_dfa, word_dfa
@@ -144,3 +146,59 @@ def test_complement_is_involutive_on_language(a):
     comp = a.complement()
     for word in all_words(2, 4):
         assert comp.accepts_word(word) == (not a.accepts_word(word))
+
+
+# ---------------------------------------------------------------------------
+# Seeded-random property tests over larger automata
+#
+# The hypothesis strategies above stay tiny so the brute-force language
+# comparisons are exhaustive; these complementary tests use plain seeded
+# `random` to cover bigger state/alphabet counts with sampled words.
+# ---------------------------------------------------------------------------
+
+
+def _seeded_dfa(rng, max_states=12, max_chars=4, num_chars=None):
+    n = rng.randint(1, max_states)
+    k = num_chars if num_chars is not None else rng.randint(1, max_chars)
+    transitions = [[rng.randrange(n) for _ in range(k)] for _ in range(n)]
+    accepting = frozenset(s for s in range(n) if rng.random() < 0.4)
+    return Dfa(k, transitions, accepting, start=rng.randrange(n))
+
+
+def _sample_words(rng, dfa, count=60, max_length=10):
+    for _ in range(count):
+        length = rng.randrange(max_length + 1)
+        yield [rng.randrange(dfa.num_chars) for _ in range(length)]
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_minimize_preserves_language_on_random_samples(seed):
+    rng = random.Random(42_000 + seed)
+    dfa = _seeded_dfa(rng)
+    minimized = dfa.minimize()
+    assert minimized.num_states <= max(1, len(dfa.reachable_states()))
+    for word in _sample_words(rng, dfa):
+        assert dfa.accepts_word(word) == minimized.accepts_word(word), word
+    # minimisation is idempotent up to size
+    assert minimized.minimize().num_states == minimized.num_states
+    # and the minimal automaton recognises the same language as the original
+    assert minimized.equivalent(dfa)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_counterexample_is_sound_on_random_pairs(seed):
+    rng = random.Random(777_000 + seed)
+    k = rng.randint(1, 4)
+    lhs = _seeded_dfa(rng, num_chars=k)
+    rhs = _seeded_dfa(rng, num_chars=k)
+    witness = lhs.counterexample(rhs)
+    if witness is None:
+        assert lhs.is_subset_of(rhs)
+        # spot-check with sampled words
+        for word in _sample_words(rng, lhs, count=40):
+            assert (not lhs.accepts_word(word)) or rhs.accepts_word(word)
+    else:
+        # every returned counterexample is accepted by lhs and rejected by rhs
+        assert lhs.accepts_word(witness)
+        assert not rhs.accepts_word(witness)
+        assert not lhs.is_subset_of(rhs)
