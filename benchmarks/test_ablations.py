@@ -85,12 +85,31 @@ def test_ablation_dfa_minimization(benchmark, minimize):
     hyps, lhs, rhs = _insert_obligation(bench)
 
     def run():
-        checker = InclusionChecker(smt.Solver(), bench.library.operators, minimize=minimize)
+        # minimisation only applies when DFAs are actually materialised
+        checker = InclusionChecker(
+            smt.Solver(), bench.library.operators, minimize=minimize, discharge="compiled"
+        )
         assert checker.check(hyps, lhs, rhs)
         return checker.stats
 
     stats = benchmark(run)
     benchmark.extra_info["avg sFA"] = round(stats.average_transitions, 1)
+
+
+@pytest.mark.parametrize("discharge", ["lazy", "compiled"])
+def test_ablation_discharge_mode(benchmark, discharge):
+    """Lazy on-the-fly product walk vs compiling both DFAs (Algorithm 1)."""
+    bench = set_kvstore()
+    hyps, lhs, rhs = _insert_obligation(bench)
+
+    def run():
+        checker = InclusionChecker(smt.Solver(), bench.library.operators, discharge=discharge)
+        assert checker.check(hyps, lhs, rhs)
+        return checker.stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["#prod-states"] = stats.prod_states
+    benchmark.extra_info["DFA states built"] = stats.states_built
 
 
 @pytest.mark.parametrize("strategy", ["product-walk", "complement-intersect"])

@@ -1,0 +1,260 @@
+"""Scheduling and discharging proof obligations (serially or in parallel).
+
+This is the middle stage of the decoupled pipeline:
+
+1. **Emit** — :mod:`repro.typecheck.checker` walks the method body and emits
+   :class:`~repro.engine.obligations.Obligation` values instead of deciding
+   them inline;
+2. **Schedule** — :class:`ObligationEngine` dedupes structurally-isomorphic
+   obligations (hash-consed fingerprints), consults a cross-method memo, and
+   orders the remainder cheapest-first;
+3. **Discharge** — each residual obligation is decided by an
+   :class:`~repro.sfa.inclusion.InclusionChecker`, either in-process or on a
+   ``fork``-based process pool (``workers=N``), and the per-worker
+   ``SolverStats``/``InclusionStats`` are merged back into the caller's
+   tables.
+
+Determinism is a design invariant: every obligation is discharged
+*hermetically* — a fresh solver and inclusion checker per obligation, so no
+state leaks between obligations — which makes every counter a pure function
+of the obligation itself.  ``workers=4`` therefore produces byte-identical
+statistics tables to ``workers=1`` (wall-clock times aside), which the
+determinism suite asserts.  Cross-obligation sharing instead happens at the
+obligation level: the batch dedupe and the cross-method memo answer repeated
+queries without re-discharge, replacing the solver-cache sharing the old
+inline design relied on.
+
+The pool uses the ``fork`` start method deliberately: terms and SFA formulas
+are hash-consed with identity semantics, and forked children inherit the
+parent's interned universe, so obligations cross the process boundary by
+reference (a module-level snapshot taken just before the fork) while results
+travel back as plain picklable dicts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .. import smt
+from ..sfa.alphabet import AlphabetError
+from ..sfa.derivatives import CompilationError
+from ..sfa.inclusion import InclusionChecker, InclusionStats
+from ..smt.solver import SolverError
+from ..sfa.signatures import OperatorRegistry
+from ..smt.solver import SolverStats
+from ..statsutil import MergeableStats
+from .obligations import DischargeOutcome, Obligation, ObligationSet
+
+
+@dataclass
+class EngineStats(MergeableStats):
+    """Bookkeeping for the schedule/discharge stages."""
+
+    obligations_emitted: int = 0
+    obligations_discharged: int = 0
+    #: later emissions answered by an isomorphic representative in the batch
+    deduped_aliases: int = 0
+    #: representatives answered by the cross-method memo
+    memo_hits: int = 0
+    batches: int = 0
+    parallel_batches: int = 0
+
+
+@dataclass(frozen=True)
+class DischargeParams:
+    """Everything a (possibly forked) worker needs to discharge obligations.
+
+    ``warm_solver`` is the checker's shared inline solver: per-obligation
+    solvers get a read-only view of its caches (``Solver(warm_from=...)``).
+    Its content at discharge time is written only by the serial emit phase,
+    so it is identical for every worker count — warm hits stay deterministic
+    — and forked workers read it through copy-on-write memory for free.
+    Never pickled: obligations and params cross the pool boundary via the
+    forked heap, only plain result dicts travel back.
+    """
+
+    operators: OperatorRegistry
+    axioms: tuple = ()
+    minimize: bool = False
+    filter_unsat_minterms: bool = True
+    max_literals: Optional[int] = None
+    strategy: str = "guided"
+    discharge: str = "lazy"
+    warm_solver: Optional[smt.Solver] = None
+
+
+def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dict:
+    """Discharge one obligation hermetically; returns a picklable result.
+
+    A fresh solver/checker pair per obligation (reads falling back to the
+    read-only warm caches, writes local and discarded) keeps every counter a
+    pure function of (warm snapshot, obligation) — the invariant behind
+    worker-count-independent statistics tables.  Deliberately *nothing*
+    mutable is shared between obligations, not even theory lemmas: installed
+    lemmas can steer the model-guided enumeration's branching and with it
+    the reported query counts, so any sibling-dependent sharing would leak
+    scheduling order into the tables.
+    """
+    solver = smt.Solver(axioms=list(params.axioms), warm_from=params.warm_solver)
+    checker = InclusionChecker(
+        solver,
+        params.operators,
+        minimize=params.minimize,
+        filter_unsat_minterms=params.filter_unsat_minterms,
+        max_literals=params.max_literals,
+        strategy=params.strategy,
+        discharge=params.discharge,
+    )
+    error: Optional[str] = None
+    try:
+        result = checker.check_detailed(
+            list(obligation.hypotheses), obligation.lhs, obligation.rhs
+        )
+        included, counterexample = result.included, result.counterexample
+    except (AlphabetError, CompilationError, SolverError) as exc:
+        # The walk deliberately continues past failing obligations, so later
+        # emissions can sit on contexts the old inline design never reached;
+        # a resource limit there must become a reportable failure, not an
+        # exception (which, under a pool, would also discard sibling results).
+        included, counterexample, error = False, None, str(exc)
+    return {
+        "included": included,
+        "counterexample": counterexample,
+        "error": error,
+        "inclusion": checker.stats.as_dict(),
+        "solver": solver.stats.as_dict(),
+    }
+
+
+#: Snapshot handed to forked workers: (obligations, params).  Set immediately
+#: before the pool forks and cleared right after; children address the
+#: hash-consed obligation objects through the inherited heap.
+_FORK_STATE: Optional[tuple[Sequence[Obligation], DischargeParams]] = None
+
+
+def _discharge_index(index: int) -> dict:
+    assert _FORK_STATE is not None, "worker invoked outside a discharge batch"
+    obligations, params = _FORK_STATE
+    return discharge_obligation(obligations[index], params)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ObligationEngine:
+    """Dedupe, order and discharge the obligations of one method at a time."""
+
+    def __init__(
+        self,
+        operators: OperatorRegistry,
+        axioms: Sequence = (),
+        *,
+        minimize: bool = False,
+        filter_unsat_minterms: bool = True,
+        max_literals: Optional[int] = None,
+        strategy: str = "guided",
+        discharge: str = "lazy",
+        workers: int = 1,
+        warm_solver: Optional[smt.Solver] = None,
+    ) -> None:
+        self.params = DischargeParams(
+            operators=operators,
+            axioms=tuple(axioms),
+            minimize=minimize,
+            filter_unsat_minterms=filter_unsat_minterms,
+            max_literals=max_literals,
+            strategy=strategy,
+            discharge=discharge,
+            warm_solver=warm_solver,
+        )
+        self.workers = workers
+        self.stats = EngineStats()
+        #: cross-method memo: fingerprint -> (included, counterexample, error);
+        #: bounded like every other cache in the pipeline
+        self.max_memo_entries = 100_000
+        self._memo: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
+
+    # ------------------------------------------------------------------
+    def discharge_all(
+        self,
+        obligation_set: ObligationSet,
+        *,
+        solver_stats: Optional[SolverStats] = None,
+        inclusion_stats: Optional[InclusionStats] = None,
+    ) -> dict[int, DischargeOutcome]:
+        """Discharge a batch; returns one outcome per emitted obligation.
+
+        ``solver_stats``/``inclusion_stats`` are the caller's aggregate tables
+        (typically the checker's); per-obligation worker counters are merged
+        into them, exactly as the inline design accumulated them.
+        """
+        self.stats.batches += 1
+        self.stats.obligations_emitted += len(obligation_set)
+        scheduled = obligation_set.schedule()
+
+        #: this batch's verdicts: fingerprint -> (included, counterexample, error)
+        verdicts: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
+        fresh: list[Obligation] = []
+        memoed_keys: set[tuple] = set()
+        for representative, aliases in scheduled:
+            self.stats.deduped_aliases += len(aliases)
+            key = representative.fingerprint()
+            cached = self._memo.get(key)
+            if cached is not None:
+                memoed_keys.add(key)
+                verdicts[key] = cached
+            else:
+                fresh.append(representative)
+
+        results = self._discharge_batch(fresh)
+        if len(self._memo) + len(fresh) > self.max_memo_entries:
+            self._memo.clear()
+        for representative, result in zip(fresh, results):
+            self.stats.obligations_discharged += 1
+            if solver_stats is not None:
+                solver_stats.merge(SolverStats.from_dict(result["solver"]))
+            if inclusion_stats is not None:
+                inclusion_stats.merge(InclusionStats.from_dict(result["inclusion"]))
+            verdict = (result["included"], result["counterexample"], result["error"])
+            verdicts[representative.fingerprint()] = verdict
+            self._memo[representative.fingerprint()] = verdict
+
+        outcomes: dict[int, DischargeOutcome] = {}
+        for representative, aliases in scheduled:
+            included, counterexample, error = verdicts[representative.fingerprint()]
+            from_memo = representative.fingerprint() in memoed_keys
+            if from_memo:
+                self.stats.memo_hits += 1
+            for obligation, deduped in [(representative, False)] + [
+                (alias, True) for alias in aliases
+            ]:
+                outcomes[obligation.index] = DischargeOutcome(
+                    obligation=obligation,
+                    included=included,
+                    counterexample=counterexample,
+                    error=error,
+                    from_memo=from_memo,
+                    deduped=deduped,
+                )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _discharge_batch(self, obligations: list[Obligation]) -> list[dict]:
+        if len(obligations) > 1 and self.workers > 1 and _fork_available():
+            self.stats.parallel_batches += 1
+            return self._discharge_parallel(obligations)
+        return [discharge_obligation(ob, self.params) for ob in obligations]
+
+    def _discharge_parallel(self, obligations: list[Obligation]) -> list[dict]:
+        global _FORK_STATE
+        context = multiprocessing.get_context("fork")
+        processes = min(self.workers, len(obligations))
+        _FORK_STATE = (obligations, self.params)
+        try:
+            with context.Pool(processes=processes) as pool:
+                return pool.map(_discharge_index, range(len(obligations)))
+        finally:
+            _FORK_STATE = None

@@ -31,10 +31,12 @@ TABLE1_COLUMNS = [
     "ttotal (s)",
     "#Branch",
     "#App",
+    "#Obl",
     "#SAT",
     "#SATcache",
     "#FA⊆",
     "#FAcache",
+    "#Prod",
     "avg. sFA",
     "tSAT (s)",
     "tFA⊆ (s)",
@@ -73,10 +75,13 @@ TABLE34_COLUMNS = [
     "Method",
     "#Branch",
     "#App",
+    "#Obl",
     "#SAT",
     "#SATcache",
     "#Inc",
     "#FAcache",
+    "#Prod",
+    "sFAbuilt",
     "avg. sFA",
     "tSAT (s)",
     "tInc (s)",

@@ -178,6 +178,18 @@ class Character:
         parts = [lit if value else smt.not_(lit) for lit, value in self.literal_values]
         return smt.and_(*parts)
 
+    def describe(self) -> str:
+        """A readable rendering: operator name plus the qualifier valuation.
+
+        Used when counterexample traces are surfaced in verification failure
+        messages, e.g. ``insert((x == el), not (mem el))``.
+        """
+        parts = [
+            f"{lit!r}" if value else f"not {lit!r}" for lit, value in self.literal_values
+        ]
+        valuation = ", ".join(parts) if parts else "any arguments"
+        return f"{self.signature.name}({valuation})"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         bits = ", ".join(
             f"{'+' if value else '-'}{lit!r}" for lit, value in self.literal_values

@@ -13,6 +13,7 @@ character).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -148,13 +149,24 @@ class Dfa:
 
     def counterexample(self, other: "Dfa") -> tuple[int, ...] | None:
         """A word in L(self) \\ L(other), or ``None`` when included."""
+        return self.counterexample_search(other)[0]
+
+    def counterexample_search(
+        self, other: "Dfa"
+    ) -> tuple[tuple[int, ...] | None, int]:
+        """BFS product search: (shortest witness or ``None``, #pairs explored).
+
+        The explored-pair count is the product-walk cost the lazy discharge
+        path is benchmarked against; exposing it here keeps the two searches
+        directly comparable.
+        """
         if self.num_chars != other.num_chars:
             raise ValueError("automata must share an alphabet")
         start = (self.start, other.start)
         parents: dict[tuple[int, int], tuple[tuple[int, int], int] | None] = {start: None}
-        frontier = [start]
+        frontier = deque([start])
         while frontier:
-            pair = frontier.pop(0)
+            pair = frontier.popleft()
             a, b = pair
             if a in self.accepting and b not in other.accepting:
                 word: list[int] = []
@@ -162,13 +174,13 @@ class Dfa:
                 while parents[node] is not None:
                     node, char = parents[node]  # type: ignore[misc]
                     word.append(char)
-                return tuple(reversed(word))
+                return tuple(reversed(word)), len(parents)
             for char in range(self.num_chars):
                 target = (self.transitions[a][char], other.transitions[b][char])
                 if target not in parents:
                     parents[target] = (pair, char)
                     frontier.append(target)
-        return None
+        return None, len(parents)
 
     def equivalent(self, other: "Dfa") -> bool:
         return self.is_subset_of(other) and other.is_subset_of(self)

@@ -19,6 +19,7 @@ the size statistics operate on.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -192,6 +193,85 @@ def compile_dfa(
     if cache is not None and key is not None:
         cache.put(key, dfa)
     return dfa
+
+
+# ---------------------------------------------------------------------------
+# Lazy on-the-fly product inclusion (the ``discharge="lazy"`` path)
+# ---------------------------------------------------------------------------
+
+
+def lazy_inclusion_search(
+    lhs: Sfa,
+    rhs: Sfa,
+    alphabet: Alphabet,
+    *,
+    max_pairs: int = 1_000_000,
+) -> tuple[Optional[tuple[int, ...]], int]:
+    """Decide ``L(lhs) ⊆ L(rhs)`` over ``alphabet`` without compiling DFAs.
+
+    Walks the product of the two derivative automata on the fly: states are
+    pairs of (hash-consed) formulas, the start pair is ``(lhs, rhs)``, and the
+    successor on a character is the pair of Brzozowski derivatives.  A pair
+    with a nullable left side and a non-nullable right side witnesses a
+    counterexample, and the breadth-first order makes the witness shortest —
+    identical to the one the compiled reference path reconstructs, because
+    derivative formulas *are* the compiled DFA's states.
+
+    Two antichain-style subsumption prunes drop pairs from which no
+    counterexample is reachable, so whole sub-products are never explored:
+
+    * ``lhs`` side is ``BOT`` — the left language is empty from here on, and
+      derivatives of ``BOT`` stay ``BOT``;
+    * ``rhs`` side is ``TOP`` — the right side accepts every continuation.
+
+    Returns ``(witness character indices or None, #product pairs explored)``.
+    The pair count is the ``#prod-states`` statistic of the evaluation tables;
+    unlike the compiled path, nothing outside the reachable (un-pruned)
+    product is ever constructed, and the search exits at the first witness.
+    """
+    context_truth = alphabet.context_truth()
+    characters = alphabet.characters
+
+    #: per-side derivative memo — pairs share sides constantly
+    memo: dict[tuple[int, int], Sfa] = {}
+
+    def step(formula: Sfa, index: int) -> Sfa:
+        key = (formula.sfa_id, index)
+        cached = memo.get(key)
+        if cached is None:
+            cached = derivative(formula, characters[index], context_truth)
+            memo[key] = cached
+        return cached
+
+    def pruned(a: Sfa, b: Sfa) -> bool:
+        return a is symbolic.BOT or b is symbolic.TOP
+
+    start = (lhs, rhs)
+    if pruned(*start):
+        return None, 0
+    parents: dict[tuple[Sfa, Sfa], tuple[tuple[Sfa, Sfa], int] | None] = {start: None}
+    frontier: deque[tuple[Sfa, Sfa]] = deque([start])
+    while frontier:
+        pair = frontier.popleft()
+        a, b = pair
+        if nullable(a) and not nullable(b):
+            word: list[int] = []
+            node: tuple[Sfa, Sfa] | None = pair
+            while parents[node] is not None:
+                node, index = parents[node]  # type: ignore[misc]
+                word.append(index)
+            return tuple(reversed(word)), len(parents)
+        for index in range(len(characters)):
+            target = (step(a, index), step(b, index))
+            if pruned(*target) or target in parents:
+                continue
+            if len(parents) >= max_pairs:
+                raise CompilationError(
+                    f"lazy product walk exceeded {max_pairs} pairs"
+                )
+            parents[target] = (pair, index)
+            frontier.append(target)
+    return None, len(parents)
 
 
 def accepts_via_dfa(formula: Sfa, alphabet: Alphabet, word: list[Character]) -> bool:

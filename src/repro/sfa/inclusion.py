@@ -7,23 +7,39 @@ by ``B``.  The pipeline is the paper's:
 1. enumerate satisfiable boolean combinations of the context literals,
 2. within each, enumerate satisfiable minterms per operator (the alphabet
    transformation), asking the SMT solver for each candidate,
-3. compile both symbolic automata to finite automata over that alphabet and
-   run a plain FA inclusion check.
+3. decide inclusion over that finite alphabet.
+
+Step 3 has two discharge modes, mirroring the guided/exhaustive split of the
+enumeration layer:
+
+* ``discharge="lazy"`` (the default) — an on-the-fly product walk over
+  symbolic derivatives (:func:`repro.sfa.derivatives.lazy_inclusion_search`).
+  Product states are explored breadth-first with antichain-style subsumption
+  pruning; nothing is materialised beyond the reachable product, and the walk
+  exits at the first counterexample.  The ``#prod-states`` statistic counts
+  the pairs it explores.
+* ``discharge="compiled"`` — the original Algorithm-1 reference path: compile
+  **both** symbolic automata to complete DFAs over the minterm alphabet, then
+  run the explicit product search.  Kept as the differential-testing oracle
+  (``tests/sfa/test_discharge_diff.py``) and for the DFA-size statistics
+  (``avg. s_FA``), which only make sense when DFAs are actually built.
 
 The checker records the statistics reported in the paper's evaluation: the
 number of FA inclusion checks (``#FA⊆``), the sizes of the constructed
-automata (``avg. s_FA``) and the time spent in FA inclusion (``t_FA⊆``); SMT
-counts and times are tracked by the shared solver.
+automata (``avg. s_FA``), explored product states (``#prod-states``) and the
+time spent in FA inclusion (``t_FA⊆``); SMT counts and times are tracked by
+the shared solver.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from .. import smt
 from ..smt.terms import Term
+from ..statsutil import MergeableStats
 from .alphabet import (
     Alphabet,
     AlphabetError,
@@ -32,18 +48,30 @@ from .alphabet import (
     resolve_max_literals,
 )
 from .automata import Dfa
-from .derivatives import DfaCache, compile_dfa
+from .derivatives import DfaCache, compile_dfa, lazy_inclusion_search
 from .signatures import OperatorRegistry
-from .symbolic import Sfa
+from .symbolic import BOT, Sfa
+
+#: The supported values of ``InclusionChecker(..., discharge=...)``.
+DISCHARGE_MODES = ("lazy", "compiled")
 
 
 @dataclass
-class InclusionStats:
-    """Counters mirroring #FA⊆ / avg s_FA / t_FA⊆ of Tables 1, 3 and 4."""
+class InclusionStats(MergeableStats):
+    """Counters mirroring #FA⊆ / avg s_FA / #prod-states of Tables 1, 3 and 4.
+
+    ``merge``/``snapshot`` are derived from ``dataclasses.fields`` via
+    :class:`MergeableStats`: a counter added here automatically participates
+    in per-worker merges and before/after deltas.
+    """
 
     fa_inclusion_checks: int = 0
     automata_built: int = 0
     total_transitions: int = 0
+    #: DFA states constructed by the compiled discharge path
+    states_built: int = 0
+    #: product pairs explored by the lazy discharge path
+    prod_states: int = 0
     context_cases: int = 0
     minterm_candidates: int = 0
     satisfiable_minterms: int = 0
@@ -58,36 +86,22 @@ class InclusionStats:
             return 0.0
         return self.total_transitions / self.automata_built
 
-    def merge(self, other: "InclusionStats") -> None:
-        self.fa_inclusion_checks += other.fa_inclusion_checks
-        self.automata_built += other.automata_built
-        self.total_transitions += other.total_transitions
-        self.context_cases += other.context_cases
-        self.minterm_candidates += other.minterm_candidates
-        self.satisfiable_minterms += other.satisfiable_minterms
-        self.dfa_cache_hits += other.dfa_cache_hits
-        self.dfa_cache_misses += other.dfa_cache_misses
-        self.fa_time_seconds += other.fa_time_seconds
-
-    def snapshot(self) -> "InclusionStats":
-        return InclusionStats(
-            fa_inclusion_checks=self.fa_inclusion_checks,
-            automata_built=self.automata_built,
-            total_transitions=self.total_transitions,
-            context_cases=self.context_cases,
-            minterm_candidates=self.minterm_candidates,
-            satisfiable_minterms=self.satisfiable_minterms,
-            dfa_cache_hits=self.dfa_cache_hits,
-            dfa_cache_misses=self.dfa_cache_misses,
-            fa_time_seconds=self.fa_time_seconds,
-        )
-
 
 @dataclass
 class InclusionResult:
     included: bool
-    #: one witness (as a list of characters rendered to strings) when not included
+    #: one witness trace (one readable step per event) when not included
     counterexample: Optional[list[str]] = None
+
+
+def render_witness(alphabet: Alphabet, witness: Sequence[int]) -> list[str]:
+    """Render a character-index witness as a readable event trace.
+
+    Each step shows the operator name and the qualifier valuation of the
+    minterm (:meth:`Character.describe`), so failure messages read as
+    ``put((key == x), not (value == x))`` rather than as raw indices.
+    """
+    return [alphabet.characters[index].describe() for index in witness]
 
 
 class InclusionChecker:
@@ -102,13 +116,19 @@ class InclusionChecker:
         filter_unsat_minterms: bool = True,
         max_literals: Optional[int] = None,
         strategy: str = "guided",
+        discharge: str = "lazy",
     ) -> None:
+        if discharge not in DISCHARGE_MODES:
+            raise ValueError(
+                f"unknown discharge mode {discharge!r}; expected one of {DISCHARGE_MODES}"
+            )
         self.solver = solver
         self.operators = operators
         self.minimize = minimize
         self.filter_unsat_minterms = filter_unsat_minterms
         self.max_literals = resolve_max_literals(max_literals, strategy, filter_unsat_minterms)
         self.strategy = strategy
+        self.discharge = discharge
         self.stats = InclusionStats()
         self.cache_hits = 0
         self._cache: dict[tuple, InclusionResult] = {}
@@ -172,6 +192,23 @@ class InclusionChecker:
 
     # -- per-context-case check ---------------------------------------------------------
     def _check_under_alphabet(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
+        if self.discharge == "lazy":
+            return self._check_lazy(lhs, rhs, alphabet)
+        return self._check_compiled(lhs, rhs, alphabet)
+
+    def _check_lazy(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
+        start = time.perf_counter()
+        witness, explored = lazy_inclusion_search(lhs, rhs, alphabet)
+        self.stats.prod_states += explored
+        self.stats.fa_inclusion_checks += 1
+        self.stats.fa_time_seconds += time.perf_counter() - start
+        if witness is None:
+            return InclusionResult(included=True)
+        return InclusionResult(
+            included=False, counterexample=render_witness(alphabet, witness)
+        )
+
+    def _check_compiled(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
         start = time.perf_counter()
         hits_before = self._dfa_cache.hits
         misses_before = self._dfa_cache.misses
@@ -184,20 +221,25 @@ class InclusionChecker:
             rhs_dfa = rhs_dfa.minimize()
         self.stats.automata_built += 2
         self.stats.total_transitions += lhs_dfa.num_transitions + rhs_dfa.num_transitions
+        self.stats.states_built += lhs_dfa.num_states + rhs_dfa.num_states
         self.stats.fa_inclusion_checks += 1
-        witness = lhs_dfa.counterexample(rhs_dfa)
+        witness, explored = lhs_dfa.counterexample_search(rhs_dfa)
+        self.stats.prod_states += explored
         self.stats.fa_time_seconds += time.perf_counter() - start
         if witness is None:
             return InclusionResult(included=True)
-        rendered = [repr(alphabet.characters[index]) for index in witness]
-        return InclusionResult(included=False, counterexample=rendered)
+        return InclusionResult(
+            included=False, counterexample=render_witness(alphabet, witness)
+        )
 
     # -- auxiliary queries used by the type checker --------------------------------------
     def is_empty(self, hypotheses: Sequence[Term], formula: Sfa) -> bool:
         """Is L(formula) empty under every instantiation of the context?"""
-        from . import symbolic
-
-        return self.check(hypotheses, formula, symbolic.BOT)
+        if formula is BOT:
+            # the initial state is non-accepting and has no transitions: no
+            # trace is ever accepted, so skip the alphabet transformation
+            return True
+        return self.check(hypotheses, formula, BOT)
 
     def equivalent(self, hypotheses: Sequence[Term], lhs: Sfa, rhs: Sfa) -> bool:
         return self.check(hypotheses, lhs, rhs) and self.check(hypotheses, rhs, lhs)

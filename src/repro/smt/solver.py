@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from . import terms
+from ..statsutil import MergeableStats
 from .axioms import Axiom, instantiate
 from .cnf import CnfBuilder
 from .sat import SatSolver
@@ -41,8 +42,12 @@ from .theory import check_theory
 
 
 @dataclass
-class SolverStats:
-    """Counters mirroring the #SAT / t_SAT columns of the paper's tables."""
+class SolverStats(MergeableStats):
+    """Counters mirroring the #SAT / t_SAT columns of the paper's tables.
+
+    ``merge``/``snapshot``/``as_dict`` come from :class:`MergeableStats`, so
+    every field added here automatically participates in worker-result merges.
+    """
 
     queries: int = 0
     sat_results: int = 0
@@ -54,28 +59,6 @@ class SolverStats:
     #: satisfiable assignments produced by :meth:`Solver.enumerate_models`
     models_enumerated: int = 0
     time_seconds: float = 0.0
-
-    def merge(self, other: "SolverStats") -> None:
-        self.queries += other.queries
-        self.sat_results += other.sat_results
-        self.unsat_results += other.unsat_results
-        self.theory_conflicts += other.theory_conflicts
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.models_enumerated += other.models_enumerated
-        self.time_seconds += other.time_seconds
-
-    def snapshot(self) -> "SolverStats":
-        return SolverStats(
-            queries=self.queries,
-            sat_results=self.sat_results,
-            unsat_results=self.unsat_results,
-            theory_conflicts=self.theory_conflicts,
-            cache_hits=self.cache_hits,
-            cache_misses=self.cache_misses,
-            models_enumerated=self.models_enumerated,
-            time_seconds=self.time_seconds,
-        )
 
 
 class SolverError(RuntimeError):
@@ -92,6 +75,7 @@ class Solver:
         instantiation_rounds: int = 2,
         max_lazy_iterations: int = 20000,
         max_cache_entries: int = 100_000,
+        warm_from: Optional["Solver"] = None,
     ) -> None:
         self.axioms = tuple(axioms)
         self.instantiation_rounds = instantiation_rounds
@@ -108,6 +92,28 @@ class Solver:
         # encoding that mentions the same atoms prune those assignments
         # without re-deriving the conflict through the theory solver.
         self._theory_lemmas: dict[tuple, list[tuple[Term, bool]]] = {}
+        # ``warm_from`` seeds this solver with a *read-only* view of another
+        # solver's caches and lemmas (same axiom set required): lookups fall
+        # back to the base dicts, writes stay local.  The obligation engine
+        # uses this to let hermetic per-obligation solvers reuse the work of
+        # the checker's inline phase without ever mutating shared state —
+        # forked workers read the same base through copy-on-write memory.
+        # The base must be a fixed snapshot for as long as this solver lives;
+        # anything execution-order-dependent (e.g. a pool mutated by sibling
+        # discharges) would leak scheduling into lemma installation, which
+        # can steer the model-guided enumeration and with it the reported
+        # query counts.
+        if warm_from is not None and warm_from.axioms != self.axioms:
+            raise ValueError("warm_from requires an identical axiom set")
+        self._base_sat_cache: Mapping[int, bool] = (
+            warm_from._sat_cache if warm_from is not None else {}
+        )
+        self._base_enum_cache: Mapping[tuple, tuple] = (
+            warm_from._enum_cache if warm_from is not None else {}
+        )
+        self._base_theory_lemmas: Mapping[tuple, list[tuple[Term, bool]]] = (
+            warm_from._theory_lemmas if warm_from is not None else {}
+        )
 
     def clear_caches(self) -> None:
         self._sat_cache.clear()
@@ -119,11 +125,18 @@ class Solver:
         if len(self._theory_lemmas) >= self.max_cache_entries:
             self._theory_lemmas.clear()
         key = tuple(sorted((atom.term_id, value) for atom, value in conflict))
+        if key in self._base_theory_lemmas:
+            return
         self._theory_lemmas.setdefault(key, conflict)
 
     def _install_lemmas(self, builder: CnfBuilder) -> None:
         """Assert every remembered lemma whose atoms this encoding mentions."""
         var_of_atom = builder.var_of_atom
+        for key, lemma in self._base_theory_lemmas.items():
+            if key in self._theory_lemmas:
+                continue  # shadowed; the local copy is installed below
+            if all(atom in var_of_atom for atom, _ in lemma):
+                builder.block_assignment(lemma)
         for lemma in self._theory_lemmas.values():
             if all(atom in var_of_atom for atom, _ in lemma):
                 builder.block_assignment(lemma)
@@ -138,6 +151,8 @@ class Solver:
         """
         goal = terms.and_(formula, *extra)
         cached = self._sat_cache.get(goal.term_id)
+        if cached is None:
+            cached = self._base_sat_cache.get(goal.term_id)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
@@ -193,6 +208,8 @@ class Solver:
         goal = terms.and_(base if base is not None else terms.TRUE, *extra)
         key = (goal.term_id, tuple(lit.term_id for lit in lits))
         cached = self._enum_cache.get(key)
+        if cached is None:
+            cached = self._base_enum_cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return list(cached)

@@ -24,14 +24,19 @@ algorithmic rules do:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 from .. import smt
 from ..smt.sorts import BOOL, INT, Sort, UNIT
+from ..engine import ObligationEngine, ObligationSet
 from ..lang import ast
 from ..sfa import symbolic
+from ..sfa.alphabet import AlphabetError
+from ..sfa.derivatives import CompilationError
+from ..smt.solver import SolverError
 from ..sfa.inclusion import InclusionChecker
 from ..sfa.signatures import OperatorRegistry
 from ..sfa.symbolic import Sfa
@@ -59,6 +64,14 @@ class CheckFailure(Exception):
     """Raised internally when a proof obligation fails; reported in the result."""
 
 
+def _default_discharge() -> str:
+    return os.environ.get("REPRO_DISCHARGE") or "lazy"
+
+
+def _default_workers() -> int:
+    return int(os.environ.get("REPRO_WORKERS") or "1")
+
+
 @dataclass
 class CheckerConfig:
     """Tunable knobs (mostly used by the ablation benchmarks)."""
@@ -71,6 +84,13 @@ class CheckerConfig:
     #: how the alphabet transformation enumerates satisfiable combinations:
     #: "guided" (solver-guided AllSAT) or "exhaustive" (per-candidate queries)
     enumeration_strategy: str = "guided"
+    #: how leaf inclusions are decided: "lazy" (on-the-fly derivative product)
+    #: or "compiled" (materialise both DFAs — the reference oracle).
+    #: Overridable via the REPRO_DISCHARGE environment variable (CI matrix).
+    discharge: str = field(default_factory=_default_discharge)
+    #: process-pool width for obligation discharge (1 = in-process serial).
+    #: Overridable via the REPRO_WORKERS environment variable (CI matrix).
+    workers: int = field(default_factory=_default_workers)
 
 
 class Checker:
@@ -92,6 +112,9 @@ class Checker:
         self.constants = dict(constants or {})
         self.config = config or CheckerConfig()
         self.solver = smt.Solver(axioms=list(axioms))
+        # Inline queries that steer the walk (HAT subtyping, ghost abduction)
+        # still go through this shared checker; deferred leaf obligations are
+        # discharged by the obligation engine below.
         self.inclusion = InclusionChecker(
             self.solver,
             operators,
@@ -99,8 +122,22 @@ class Checker:
             filter_unsat_minterms=self.config.filter_unsat_minterms,
             max_literals=self.config.max_literals,
             strategy=self.config.enumeration_strategy,
+            discharge=self.config.discharge,
         )
         self.engine = SubtypingEngine(self.solver, self.inclusion)
+        self.obligation_engine = ObligationEngine(
+            operators,
+            axioms,
+            minimize=self.config.minimize_automata,
+            filter_unsat_minterms=self.config.filter_unsat_minterms,
+            max_literals=self.config.max_literals,
+            strategy=self.config.enumeration_strategy,
+            discharge=self.config.discharge,
+            workers=self.config.workers,
+            # per-obligation solvers read the inline solver's caches (read-only)
+            warm_solver=self.solver,
+        )
+        self._obligations: Optional[ObligationSet] = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -131,13 +168,55 @@ class Checker:
         for param_name, param_type in spec.params:
             gamma = gamma.bind(param_name, param_type)
 
-        error: Optional[str] = None
+        # -- emit: walk the body, collecting obligations instead of deciding them
+        self._obligations = ObligationSet(method=spec.name)
+        inline_error: Optional[str] = None
         try:
             self._check(gamma, spec.precondition, definition.body, spec.result, spec.postcondition)
-            verified = True
         except (CheckFailure, TypingError) as exc:
-            verified = False
-            error = str(exc)
+            inline_error = str(exc)
+        except (AlphabetError, CompilationError, SolverError) as exc:
+            # The inline design stopped at the first failing obligation; with
+            # deferral the walk continues past it, so an inline query further
+            # down may hit a resource limit on a context that would never
+            # have been reached.  Report it as a failed check rather than
+            # crashing — if an emitted obligation also failed, that (earlier)
+            # failure wins below, matching the old first-failure semantics.
+            inline_error = f"resource limit while checking: {exc}"
+
+        # -- schedule + discharge: dedupe, order and decide the collected set;
+        # per-worker solver/inclusion counters merge into the shared tables.
+        emitted = len(self._obligations)
+        outcomes = self.obligation_engine.discharge_all(
+            self._obligations,
+            solver_stats=self.solver.stats,
+            inclusion_stats=self.inclusion.stats,
+        )
+        self._obligations = None
+
+        # Inline failures abort the walk, so every emitted obligation precedes
+        # them in walk order: the earliest failing obligation (if any) is the
+        # same first failure the inline design would have reported.
+        failure = min(
+            (outcome for outcome in outcomes.values() if outcome.failed),
+            key=lambda outcome: outcome.obligation.index,
+            default=None,
+        )
+        error: Optional[str] = None
+        if failure is not None:
+            if failure.error is not None:
+                error = (
+                    f"resource limit while discharging "
+                    f"{failure.obligation.provenance}: {failure.error}"
+                )
+            else:
+                error = failure.obligation.failure_message
+                if failure.counterexample:
+                    trace = " ; ".join(failure.counterexample)
+                    error = f"{error} [counterexample trace: {trace}]"
+        elif inline_error is not None:
+            error = inline_error
+        verified = error is None
 
         solver_after = self.solver.stats
         inclusion_after = self.inclusion.stats
@@ -145,10 +224,13 @@ class Checker:
             method=spec.name,
             branches=ast.count_branches(definition.body),
             operator_applications=ast.count_operator_applications(definition.body),
+            obligations=emitted,
             smt_queries=solver_after.queries - solver_before.queries,
             smt_cache_hits=solver_after.cache_hits - solver_before.cache_hits,
             fa_inclusion_checks=inclusion_after.fa_inclusion_checks - inclusion_before.fa_inclusion_checks,
             dfa_cache_hits=inclusion_after.dfa_cache_hits - inclusion_before.dfa_cache_hits,
+            prod_states=inclusion_after.prod_states - inclusion_before.prod_states,
+            states_built=inclusion_after.states_built - inclusion_before.states_built,
             smt_time_seconds=solver_after.time_seconds - solver_before.time_seconds,
             fa_time_seconds=inclusion_after.fa_time_seconds - inclusion_before.fa_time_seconds,
             total_time_seconds=time.perf_counter() - start,
@@ -301,11 +383,18 @@ class Checker:
                 raise CheckFailure(
                     f"returned value {value!r} does not satisfy the result type {result_type!r}"
                 )
-        if not self.engine.automata_included(gamma, context_automaton, postcondition):
-            raise CheckFailure(
+        assert self._obligations is not None
+        self._obligations.emit(
+            "postcondition",
+            gamma.hypotheses(),
+            context_automaton,
+            postcondition,
+            provenance=f"{self._obligations.method}: return-site postcondition",
+            failure_message=(
                 "the accumulated effect context is not included in the postcondition "
                 "automaton (the representation invariant may be violated)"
-            )
+            ),
+        )
 
     def _check_returned_function(
         self, gamma: TypingContext, value: ast.Value, expected: FunType
@@ -426,10 +515,19 @@ class Checker:
         ADT methods or thunks, which may append arbitrarily many events.
         """
         precondition_union = symbolic.or_(*(case.precondition for case in cases))
-        if not self.engine.automata_included(gamma, context_automaton, precondition_union):
-            raise CheckFailure(
+        assert self._obligations is not None
+        self._obligations.emit(
+            "coverage",
+            gamma.hypotheses(),
+            context_automaton,
+            precondition_union,
+            provenance=(
+                f"{self._obligations.method}: precondition coverage of {call_description}"
+            ),
+            failure_message=(
                 f"the effect context does not satisfy the precondition of {call_description}"
-            )
+            ),
+        )
         # Each effectful operator appends exactly one event (STEffOp), so the
         # new context is "the old context followed by exactly one event",
         # intersected with the operator's postcondition automaton.  This is the
@@ -517,13 +615,17 @@ class Checker:
         )
         if isinstance(callee_result, FunType):
             # function-returning methods (e.g. LazySet's thunk constructors)
-            precondition_ok = self.engine.automata_included(
-                gamma, context_automaton, case.precondition
-            )
-            if not precondition_ok:
-                raise CheckFailure(
+            assert self._obligations is not None
+            self._obligations.emit(
+                "precondition",
+                gamma.hypotheses(),
+                context_automaton,
+                case.precondition,
+                provenance=f"{self._obligations.method}: precondition of call to {name}",
+                failure_message=(
                     f"the effect context does not satisfy the precondition of {name}"
-                )
+                ),
+            )
             frame = symbolic.concat(context_automaton, symbolic.any_trace())
             new_context = symbolic.and_(frame, case.postcondition)
             new_gamma = gamma.bind(expr.name, callee_result)

@@ -13,12 +13,18 @@ class MethodStats:
     method: str = ""
     branches: int = 0
     operator_applications: int = 0
+    #: proof obligations emitted by the checker's walk (before dedupe)
+    obligations: int = 0
     smt_queries: int = 0
     #: SMT queries and model enumerations answered from the solver's caches
     smt_cache_hits: int = 0
     fa_inclusion_checks: int = 0
     #: DFA compilations answered from the (sfa_id, alphabet) memo
     dfa_cache_hits: int = 0
+    #: product pairs explored during inclusion (#prod-states)
+    prod_states: int = 0
+    #: DFA states materialised by the compiled discharge path
+    states_built: int = 0
     average_fa_size: float = 0.0
     smt_time_seconds: float = 0.0
     fa_time_seconds: float = 0.0
@@ -29,14 +35,30 @@ class MethodStats:
             "Method": self.method,
             "#Branch": self.branches,
             "#App": self.operator_applications,
+            "#Obl": self.obligations,
             "#SAT": self.smt_queries,
             "#SATcache": self.smt_cache_hits,
             "#Inc": self.fa_inclusion_checks,
             "#FAcache": self.dfa_cache_hits,
+            "#Prod": self.prod_states,
+            "sFAbuilt": self.states_built,
             "avg. sFA": round(self.average_fa_size, 1),
             "tSAT (s)": round(self.smt_time_seconds, 2),
             "tInc (s)": round(self.fa_time_seconds, 2),
             "t (s)": round(self.total_time_seconds, 2),
+        }
+
+    #: the wall-clock columns of :meth:`as_row` (excluded from determinism
+    #: comparisons — every counter column must be byte-identical across
+    #: worker counts, but times vary run to run even serially)
+    TIME_COLUMNS = ("tSAT (s)", "tInc (s)", "t (s)")
+
+    def counter_row(self) -> dict[str, object]:
+        """The :meth:`as_row` columns that are deterministic counters."""
+        return {
+            key: value
+            for key, value in self.as_row().items()
+            if key not in self.TIME_COLUMNS
         }
 
 
@@ -91,10 +113,12 @@ class AdtStats:
                 {
                     "#Branch": hardest.stats.branches,
                     "#App": hardest.stats.operator_applications,
+                    "#Obl": hardest.stats.obligations,
                     "#SAT": hardest.stats.smt_queries,
                     "#SATcache": hardest.stats.smt_cache_hits,
                     "#FA⊆": hardest.stats.fa_inclusion_checks,
                     "#FAcache": hardest.stats.dfa_cache_hits,
+                    "#Prod": hardest.stats.prod_states,
                     "avg. sFA": round(hardest.stats.average_fa_size, 1),
                     "tSAT (s)": round(hardest.stats.smt_time_seconds, 2),
                     "tFA⊆ (s)": round(hardest.stats.fa_time_seconds, 2),

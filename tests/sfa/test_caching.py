@@ -81,8 +81,10 @@ def test_enumeration_cache_speeds_repeated_alphabet_builds(set_ops):
 
 
 def test_dfa_memo_hits_across_equivalence_directions(set_ops):
+    # the DFA memo only participates in the compiled discharge path; the
+    # default lazy walk never materialises DFAs
     lhs, invariant = _obligation(set_ops)
-    checker = InclusionChecker(smt.Solver(), set_ops)
+    checker = InclusionChecker(smt.Solver(), set_ops, discharge="compiled")
     assert checker.check([], lhs, invariant)
     assert checker.stats.dfa_cache_hits == 0
     assert checker.stats.dfa_cache_misses > 0

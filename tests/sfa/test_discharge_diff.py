@@ -1,0 +1,185 @@
+"""Differential tests: lazy on-the-fly discharge vs the compiled oracle.
+
+The lazy product walk (``discharge="lazy"``) must be observationally
+identical to the reference Algorithm-1 path that compiles both symbolic
+automata to complete DFAs (``discharge="compiled"``):
+
+* identical verdicts on every query,
+* identical counterexample traces (the lazy BFS visits derivative pairs in
+  the same order the compiled product search visits DFA state pairs, so the
+  shortest witness coincides),
+* strictly less exploration: the lazy walk's product pairs never exceed the
+  states the compiled path materialises (asserted per-benchmark in
+  ``benchmarks/test_engine_microbench.py``).
+
+The corpus is the suite's benchmarks plus ≥100 seeded-random SFA pairs.
+"""
+
+import random
+
+import pytest
+
+from repro import smt
+from repro.smt import sorts
+from repro.sfa import symbolic as S
+from repro.sfa.alphabet import build_alphabets
+from repro.sfa.derivatives import compile_dfa, lazy_inclusion_search
+from repro.sfa.inclusion import InclusionChecker
+from repro.sfa.signatures import OperatorRegistry
+from repro.suite.registry import all_benchmarks
+
+# ---------------------------------------------------------------------------
+# Random-case generators (plain `random`, deterministic seeds)
+# ---------------------------------------------------------------------------
+
+_PREDICATES = [
+    smt.declare(f"dis_p{i}", [sorts.ELEM], smt.BOOL, method_predicate=True)
+    for i in range(3)
+]
+_CTX_VARS = [smt.var(f"dis_c{i}", sorts.ELEM) for i in range(3)]
+_INT_VARS = [smt.var(f"dis_n{i}", smt.INT) for i in range(3)]
+
+
+def _random_registry(rng: random.Random) -> OperatorRegistry:
+    registry = OperatorRegistry()
+    registry.declare("op_a", [("x", sorts.ELEM)], sorts.UNIT)
+    if rng.random() < 0.5:
+        registry.declare("op_b", [("y", sorts.ELEM), ("m", smt.INT)], smt.BOOL)
+    return registry
+
+
+def _random_context_literal(rng: random.Random) -> smt.Term:
+    kind = rng.randrange(3)
+    if kind == 0:
+        return smt.apply(rng.choice(_PREDICATES), rng.choice(_CTX_VARS))
+    if kind == 1:
+        return smt.lt(rng.choice(_INT_VARS), rng.choice(_INT_VARS))
+    return smt.eq(rng.choice(_CTX_VARS), rng.choice(_CTX_VARS))
+
+
+def _random_event_literal(rng: random.Random, signature) -> smt.Term:
+    formals = [f for f in signature.formals if f.sort in (smt.INT, sorts.ELEM)]
+    if not formals:
+        return smt.TRUE
+    formal = rng.choice(formals)
+    if formal.sort == smt.INT:
+        if rng.random() < 0.5:
+            return smt.lt(formal, rng.choice(_INT_VARS))
+        return smt.le(rng.choice(_INT_VARS), formal)
+    if rng.random() < 0.5:
+        return smt.apply(rng.choice(_PREDICATES), formal)
+    return smt.eq(formal, rng.choice(_CTX_VARS))
+
+
+def _random_sfa(rng: random.Random, registry, depth: int = 3) -> S.Sfa:
+    if depth == 0 or rng.random() < 0.3:
+        choice = rng.randrange(4)
+        if choice == 0:
+            return S.TOP
+        if choice == 1:
+            signature = rng.choice(list(registry))
+            return S.event(signature, _random_event_literal(rng, signature))
+        if choice == 2:
+            return S.guard(_random_context_literal(rng))
+        return S.event(rng.choice(list(registry)), smt.TRUE)
+    combinator = rng.randrange(5)
+    if combinator == 0:
+        return S.and_(_random_sfa(rng, registry, depth - 1), _random_sfa(rng, registry, depth - 1))
+    if combinator == 1:
+        return S.or_(_random_sfa(rng, registry, depth - 1), _random_sfa(rng, registry, depth - 1))
+    if combinator == 2:
+        return S.not_(_random_sfa(rng, registry, depth - 1))
+    if combinator == 3:
+        return S.next_(_random_sfa(rng, registry, depth - 1))
+    return S.concat(_random_sfa(rng, registry, depth - 1), _random_sfa(rng, registry, depth - 1))
+
+
+# ---------------------------------------------------------------------------
+# Random differential: ≥ 100 lazy vs compiled inclusion queries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_random_pairs_agree(seed):
+    rng = random.Random(424_243 + seed)
+    registry = _random_registry(rng)
+    lhs = _random_sfa(rng, registry)
+    rhs = _random_sfa(rng, registry)
+    hypotheses = []
+    if rng.random() < 0.3:
+        hypothesis = _random_context_literal(rng)
+        if not (hypothesis.is_true or hypothesis.is_false):
+            hypotheses.append(hypothesis)
+
+    results = {}
+    for discharge in ("lazy", "compiled"):
+        checker = InclusionChecker(smt.Solver(), registry, discharge=discharge)
+        results[discharge] = checker.check_detailed(hypotheses, lhs, rhs)
+    assert results["lazy"].included == results["compiled"].included
+    assert results["lazy"].counterexample == results["compiled"].counterexample
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_lazy_witnesses_are_genuine(seed):
+    """Every lazy counterexample must be accepted by lhs and rejected by rhs."""
+    rng = random.Random(9_191_919 + seed)
+    registry = _random_registry(rng)
+    lhs = _random_sfa(rng, registry)
+    rhs = _random_sfa(rng, registry)
+    solver = smt.Solver()
+    alphabets = build_alphabets(solver, [], [lhs, rhs], registry)
+    for alphabet in alphabets:
+        witness, explored = lazy_inclusion_search(lhs, rhs, alphabet)
+        lhs_dfa = compile_dfa(lhs, alphabet)
+        rhs_dfa = compile_dfa(rhs, alphabet)
+        if witness is None:
+            assert lhs_dfa.is_subset_of(rhs_dfa)
+        else:
+            assert lhs_dfa.accepts_word(list(witness))
+            assert not rhs_dfa.accepts_word(list(witness))
+            # the walk never explores more pairs than the compiled product
+            _, compiled_explored = lhs_dfa.counterexample_search(rhs_dfa)
+            assert explored <= compiled_explored
+
+
+# ---------------------------------------------------------------------------
+# Suite-benchmark differential
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "key", [bench.key for bench in all_benchmarks(include_slow=False)]
+)
+def test_suite_verification_agrees(key):
+    from repro.typecheck.checker import CheckerConfig
+
+    bench = next(b for b in all_benchmarks(include_slow=False) if b.key == key)
+    outcomes = {}
+    for discharge in ("lazy", "compiled"):
+        checker = bench.make_checker(CheckerConfig(discharge=discharge))
+        stats = bench.verify_all(checker)
+        outcomes[discharge] = [
+            (result.method, result.verified, result.error)
+            for result in stats.method_results
+        ]
+    assert outcomes["lazy"] == outcomes["compiled"]
+
+
+@pytest.mark.parametrize(
+    "key", [bench.key for bench in all_benchmarks(include_slow=False)]
+)
+def test_suite_negative_variants_agree(key):
+    """Known-bad variants are rejected identically, traces included."""
+    from repro.typecheck.checker import CheckerConfig
+
+    bench = next(b for b in all_benchmarks(include_slow=False) if b.key == key)
+    if not bench.negative_variants:
+        pytest.skip(f"{key} has no negative variants")
+    for variant in bench.negative_variants:
+        outcomes = {}
+        for discharge in ("lazy", "compiled"):
+            checker = bench.make_checker(CheckerConfig(discharge=discharge))
+            result = bench.verify_negative_variant(variant, checker)
+            outcomes[discharge] = (result.verified, result.error)
+        assert not outcomes["lazy"][0]
+        assert outcomes["lazy"] == outcomes["compiled"]

@@ -38,7 +38,14 @@ def test_insert_preserves_invariant_when_not_member(set_ops, solver):
     effect = S.and_(S.event_pinned(set_ops["insert"], [el]), S.last())
     assert checker.check([], S.concat(context, effect), inv)
     assert checker.stats.fa_inclusion_checks >= 1
-    assert checker.stats.average_transitions > 0
+    # the default lazy discharge explores product pairs instead of building DFAs
+    assert checker.stats.prod_states > 0
+    assert checker.stats.automata_built == 0
+
+    compiled = InclusionChecker(smt.Solver(), set_ops, discharge="compiled")
+    assert compiled.check([], S.concat(context, effect), inv)
+    assert compiled.stats.average_transitions > 0
+    assert compiled.stats.states_built > 0
 
 
 def test_insert_can_break_invariant_without_membership_check(set_ops, solver):
@@ -98,8 +105,8 @@ def test_minimize_option_reduces_reported_size(set_ops, solver):
     effect = S.and_(S.event_pinned(set_ops["insert"], [el]), S.last())
     lhs = S.concat(S.and_(inv, not_yet_inserted(set_ops, el)), effect)
 
-    plain = InclusionChecker(smt.Solver(), set_ops, minimize=False)
-    minimized = InclusionChecker(smt.Solver(), set_ops, minimize=True)
+    plain = InclusionChecker(smt.Solver(), set_ops, minimize=False, discharge="compiled")
+    minimized = InclusionChecker(smt.Solver(), set_ops, minimize=True, discharge="compiled")
     assert plain.check([], lhs, inv)
     assert minimized.check([], lhs, inv)
     assert minimized.stats.total_transitions <= plain.stats.total_transitions

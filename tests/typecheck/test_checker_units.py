@@ -74,6 +74,27 @@ def test_infeasible_branches_are_pruned():
     assert result.verified, result.error
 
 
+def test_resource_errors_during_walk_are_reported_not_raised(monkeypatch):
+    """Deferred discharge keeps walking past failing obligations, so inline
+    queries may hit resource limits on contexts the inline design never
+    reached; they must surface as a failed result, not an exception."""
+    from repro.sfa.alphabet import AlphabetError
+    from repro.types.subtyping import SubtypingEngine
+
+    library, checker = make_checker()
+
+    def blow_up(self, *args, **kwargs):
+        raise AlphabetError("literal budget exceeded")
+
+    monkeypatch.setattr(SubtypingEngine, "value_has_type", blow_up)
+    source = "let touch (x : Elem.t) : unit = insert x"
+    program = desugar_program(source, effectful_ops=library.effectful_op_names())
+    spec = invariant_method("touch", (), [("x", base(ELEM))], S.any_trace(), base(UNIT))
+    result = checker.check_method(program["touch"], spec)
+    assert not result.verified
+    assert "resource limit" in (result.error or "")
+
+
 def test_missing_operator_signature_is_reported():
     library, checker = make_checker()
     source = "let poke (x : Elem.t) : unit = unknown_effect x"
@@ -127,11 +148,31 @@ def test_stats_are_collected_per_method():
     spec = invariant_method(
         "guarded_insert", (("el", ELEM),), [("x", base(ELEM))], invariant, base(UNIT)
     )
-    result = checker.check_method(program["guarded_insert"], spec)
+    from repro.typecheck.checker import CheckerConfig
+
+    def check_with(discharge):
+        worker = Checker(
+            operators=library.operators,
+            delta=library.delta,
+            pure_ops=library.pure_ops,
+            axioms=library.axioms,
+            config=CheckerConfig(discharge=discharge),
+        )
+        return worker.check_method(program["guarded_insert"], spec)
+
+    result = check_with("lazy")
     assert result.verified
     row = result.stats.as_row()
     assert row["#Branch"] == 2
     assert row["#App"] >= 2
+    assert row["#Obl"] > 0
     assert row["#SAT"] > 0
     assert row["#Inc"] > 0
-    assert result.stats.average_fa_size > 0
+    # lazy discharge reports explored product states instead of DFA sizes
+    assert row["#Prod"] > 0
+    assert result.stats.average_fa_size == 0
+
+    compiled = check_with("compiled")
+    assert compiled.verified
+    assert compiled.stats.average_fa_size > 0
+    assert compiled.stats.states_built > 0
