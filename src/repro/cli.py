@@ -4,19 +4,119 @@ Usage::
 
     pymarple list                       # list the benchmark corpus
     pymarple check Set/KVStore          # verify one ADT/library row
+    pymarple verify Set/KVStore         # alias of check
     pymarple check Set/KVStore --method insert
     pymarple evaluate [--fast]          # run the whole evaluation (Table 1 data)
+    pymarple evaluate --shards 4        # shard the corpus's obligations
     pymarple table 1|2|3|4 [--fast]     # print a specific paper table
+
+Checker knobs (``--workers``, ``--discharge``, ``--strategy``) mirror the
+``REPRO_*`` environment variables.  Incremental verification is enabled with
+``--incremental`` (or by naming a store explicitly with ``--store PATH``):
+discharged obligations are persisted to an on-disk store and answered from it
+on later runs; ``--explain`` prints the per-method hit/miss/invalidated
+counts, and ``--json`` emits a machine-readable report for CI trend tracking.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from .evaluation import render_all, run_evaluation, table1, table2, table3, table4
+from .evaluation import render_all, report_json, run_evaluation, table1, table2, table3, table4
+from .store.obligation_store import ObligationStore
 from .suite.registry import all_benchmarks, benchmark_by_key
+from .typecheck.checker import CheckerConfig
+
+#: Where ``--incremental`` keeps its store when ``--store`` is not given.
+DEFAULT_STORE_PATH = ".pymarple-store"
+
+
+# ---------------------------------------------------------------------------
+# Shared flag groups
+# ---------------------------------------------------------------------------
+
+
+def _add_checker_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("checker knobs")
+    group.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="process-pool width for obligation discharge (default: REPRO_WORKERS or 1)",
+    )
+    group.add_argument(
+        "--discharge",
+        choices=("lazy", "compiled"),
+        help="how leaf inclusions are decided (default: REPRO_DISCHARGE or lazy)",
+    )
+    group.add_argument(
+        "--strategy",
+        choices=("guided", "exhaustive"),
+        help="minterm enumeration strategy (default: guided)",
+    )
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("incremental verification")
+    group.add_argument(
+        "--incremental",
+        action="store_true",
+        help=f"answer obligations from a persistent store (default path: {DEFAULT_STORE_PATH})",
+    )
+    group.add_argument(
+        "--store",
+        metavar="PATH",
+        help="store directory (implies --incremental)",
+    )
+    group.add_argument(
+        "--explain",
+        action="store_true",
+        help="print per-method store hit/miss/invalidated counts",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> CheckerConfig:
+    kwargs: dict[str, object] = {}
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = args.workers
+    if getattr(args, "discharge", None) is not None:
+        kwargs["discharge"] = args.discharge
+    if getattr(args, "strategy", None) is not None:
+        kwargs["enumeration_strategy"] = args.strategy
+    return CheckerConfig(**kwargs)
+
+
+def _open_store(args: argparse.Namespace) -> Optional[ObligationStore]:
+    wants_store = (
+        getattr(args, "store", None)
+        or getattr(args, "incremental", False)
+        or getattr(args, "shards", 1) > 1
+    )
+    if not wants_store:
+        return None
+    return ObligationStore(getattr(args, "store", None) or DEFAULT_STORE_PATH)
+
+
+def _print_store_report(store: ObligationStore, explain: bool) -> None:
+    summary = store.summary()
+    print(
+        f"\nstore: {summary['entries']} entries, {summary['hits']} hits, "
+        f"{summary['misses']} misses, {summary['invalidated']} invalidated"
+    )
+    if explain:
+        for row in store.explain():
+            print(
+                f"  {row['scope']}.{row['method']}: hits={row['hits']} "
+                f"misses={row['misses']} invalidated={row['invalidated']}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -27,39 +127,96 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    benchmark = benchmark_by_key(args.benchmark)
+    try:
+        benchmark = benchmark_by_key(args.benchmark)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    store = _open_store(args)
+    checker = benchmark.make_checker(_config_from_args(args), store=store)
     if args.method:
-        result = benchmark.verify_method(args.method)
+        if args.method not in benchmark.specs:
+            known = ", ".join(benchmark.specs)
+            print(
+                f"error: {benchmark.key} has no method {args.method!r}; known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        result = benchmark.verify_method(args.method, checker)
         status = "VERIFIED" if result.verified else f"REJECTED: {result.error}"
         print(f"{benchmark.key}.{args.method}: {status}")
         print(f"  {result.stats.as_row()}")
+        if store is not None:
+            _print_store_report(store, args.explain)
         return 0 if result.verified else 1
-    stats = benchmark.verify_all()
+    stats = benchmark.verify_all(checker)
     for result in stats.method_results:
         status = "ok" if result.verified else f"FAILED ({result.error})"
         print(f"  {result.method:>20}: {status}")
     print(f"{benchmark.key}: all verified = {stats.all_verified}")
+    if store is not None:
+        _print_store_report(store, args.explain)
     return 0 if stats.all_verified else 1
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    report = run_evaluation(include_slow=not args.fast)
+    config = _config_from_args(args)
+    store = _open_store(args)
+    if args.shards > 1:
+        from .store.shard import run_sharded_evaluation
+
+        report = run_sharded_evaluation(
+            args.shards, store, include_slow=not args.fast, config=config
+        )
+    else:
+        report = run_evaluation(include_slow=not args.fast, config=config, store=store)
+    ok = report.all_verified and report.all_negatives_rejected
+    if args.json:
+        print(json.dumps(report_json(report, store=store), indent=2, sort_keys=True))
+        return 0 if ok else 1
     print(render_all(report))
     print(f"\ntotal wall-clock time: {report.total_time_seconds:.1f} s")
-    ok = report.all_verified and report.all_negatives_rejected
     print(f"all positive benchmarks verified: {report.all_verified}")
     print(f"all negative variants rejected:  {report.all_negatives_rejected}")
+    if store is not None:
+        _print_store_report(store, args.explain)
     return 0 if ok else 1
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 2:
-        print(table2())
+        if args.json:
+            from .evaluation.tables import table2_rows
+
+            print(json.dumps(table2_rows(), indent=2, sort_keys=True))
+        else:
+            print(table2())
         return 0
-    report = run_evaluation(include_slow=not args.fast)
+    store = _open_store(args)
+    report = run_evaluation(
+        include_slow=not args.fast, config=_config_from_args(args), store=store
+    )
+    if args.json:
+        from .evaluation.tables import TABLE3_ADTS, TABLE4_ADTS
+
+        payload = report_json(report, store=store)
+        if args.number == 1:
+            rows = payload["adts"]
+        else:
+            adts = TABLE3_ADTS if args.number == 3 else TABLE4_ADTS
+            rows = [row for row in payload["per_method"] if row["Datatype"] in adts]
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
     renderer = {1: table1, 3: table3, 4: table4}[args.number]
     print(renderer(report))
+    if store is not None:
+        _print_store_report(store, args.explain)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,18 +228,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the benchmark corpus").set_defaults(func=_cmd_list)
 
-    check = sub.add_parser("check", help="verify one ADT/library benchmark")
-    check.add_argument("benchmark", help="benchmark key, e.g. Set/KVStore")
-    check.add_argument("--method", help="verify a single method only")
-    check.set_defaults(func=_cmd_check)
+    for name, help_text in (
+        ("check", "verify one ADT/library benchmark"),
+        ("verify", "alias of check"),
+    ):
+        check = sub.add_parser(name, help=help_text)
+        check.add_argument("benchmark", help="benchmark key, e.g. Set/KVStore")
+        check.add_argument("--method", help="verify a single method only")
+        _add_checker_flags(check)
+        _add_store_flags(check)
+        check.set_defaults(func=_cmd_check)
 
     evaluate = sub.add_parser("evaluate", help="run the full evaluation")
     evaluate.add_argument("--fast", action="store_true", help="skip the slow benchmarks")
+    evaluate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the corpus's obligations across N processes (implies a store)",
+    )
+    evaluate.add_argument("--json", action="store_true", help="emit a machine-readable report")
+    _add_checker_flags(evaluate)
+    _add_store_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     table = sub.add_parser("table", help="print one of the paper's tables")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--fast", action="store_true", help="skip the slow benchmarks")
+    table.add_argument("--json", action="store_true", help="emit the rows as JSON")
+    _add_checker_flags(table)
+    _add_store_flags(table)
     table.set_defaults(func=_cmd_table)
 
     return parser

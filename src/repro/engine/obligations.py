@@ -165,6 +165,10 @@ class DischargeOutcome:
     error: Optional[str] = None
     #: answered from the engine's cross-method memo (no discharge work done)
     from_memo: bool = False
+    #: answered from the persistent obligation store (warm start)
+    from_store: bool = False
+    #: assigned to another shard: not discharged here, verdict is vacuous
+    skipped: bool = False
     #: this obligation was an alias of an isomorphic representative
     deduped: bool = False
 

@@ -45,6 +45,8 @@ from ..smt.solver import SolverError
 from ..sfa.signatures import OperatorRegistry
 from ..smt.solver import SolverStats
 from ..statsutil import MergeableStats
+from ..store.fingerprint import environment_fingerprint, obligation_digest, shard_of
+from ..store.obligation_store import ObligationStore, StoreContext, StoreEntry
 from .obligations import DischargeOutcome, Obligation, ObligationSet
 
 
@@ -58,6 +60,12 @@ class EngineStats(MergeableStats):
     deduped_aliases: int = 0
     #: representatives answered by the cross-method memo
     memo_hits: int = 0
+    #: representatives answered by the persistent store (warm start)
+    store_hits: int = 0
+    #: representatives that missed the persistent store and were discharged
+    store_misses: int = 0
+    #: representatives assigned to another shard (not discharged here)
+    shard_skipped: int = 0
     batches: int = 0
     parallel_batches: int = 0
 
@@ -159,6 +167,8 @@ class ObligationEngine:
         discharge: str = "lazy",
         workers: int = 1,
         warm_solver: Optional[smt.Solver] = None,
+        store: Optional[ObligationStore] = None,
+        shard: Optional[tuple[int, int]] = None,
     ) -> None:
         self.params = DischargeParams(
             operators=operators,
@@ -171,6 +181,27 @@ class ObligationEngine:
             warm_solver=warm_solver,
         )
         self.workers = workers
+        self.store = store
+        if shard is not None:
+            index, count = shard
+            if not (count >= 1 and 0 <= index < count):
+                raise ValueError(f"invalid shard assignment {shard!r}")
+        self.shard = shard
+        #: the semantic-environment key store entries are read/written under;
+        #: worker count and shard assignment deliberately don't participate
+        self._env_fp = (
+            environment_fingerprint(
+                operators,
+                axioms,
+                minimize=minimize,
+                filter_unsat_minterms=filter_unsat_minterms,
+                max_literals=max_literals,
+                strategy=strategy,
+                discharge=discharge,
+            )
+            if store is not None
+            else None
+        )
         self.stats = EngineStats()
         #: cross-method memo: fingerprint -> (included, counterexample, error);
         #: bounded like every other cache in the pipeline
@@ -184,12 +215,17 @@ class ObligationEngine:
         *,
         solver_stats: Optional[SolverStats] = None,
         inclusion_stats: Optional[InclusionStats] = None,
+        store_context: Optional[StoreContext] = None,
     ) -> dict[int, DischargeOutcome]:
         """Discharge a batch; returns one outcome per emitted obligation.
 
         ``solver_stats``/``inclusion_stats`` are the caller's aggregate tables
         (typically the checker's); per-obligation worker counters are merged
-        into them, exactly as the inline design accumulated them.
+        into them, exactly as the inline design accumulated them.  Lookup
+        order per representative is memo → persistent store → discharge: a
+        store hit merges the *recorded* counters (so warm tables match cold
+        ones byte for byte), a miss is discharged and written back under
+        ``store_context``'s dependency record.
         """
         self.stats.batches += 1
         self.stats.obligations_emitted += len(obligation_set)
@@ -197,8 +233,10 @@ class ObligationEngine:
 
         #: this batch's verdicts: fingerprint -> (included, counterexample, error)
         verdicts: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
-        fresh: list[Obligation] = []
+        fresh: list[tuple[Obligation, Optional[str]]] = []
         memoed_keys: set[tuple] = set()
+        stored_keys: set[tuple] = set()
+        skipped_keys: set[tuple] = set()
         for representative, aliases in scheduled:
             self.stats.deduped_aliases += len(aliases)
             key = representative.fingerprint()
@@ -206,13 +244,53 @@ class ObligationEngine:
             if cached is not None:
                 memoed_keys.add(key)
                 verdicts[key] = cached
-            else:
-                fresh.append(representative)
+                continue
+            digest = (
+                obligation_digest(representative)
+                if self.store is not None or self.shard is not None
+                else None
+            )
+            if self.store is not None:
+                entry = self.store.lookup(self._env_fp, digest)
+                # defensively treat error entries as misses (they are never
+                # written by this code path, see below, but an older or
+                # hand-edited store could contain them)
+                if entry is not None and entry.error is None:
+                    self.stats.store_hits += 1
+                    stored_keys.add(key)
+                    counterexample = (
+                        list(entry.counterexample) if entry.counterexample else None
+                    )
+                    verdict = (entry.included, counterexample, entry.error)
+                    verdicts[key] = verdict
+                    self._memo[key] = verdict
+                    # merge the counters the original discharge produced, so
+                    # the tables come out identical to a cold run
+                    if solver_stats is not None:
+                        solver_stats.merge(SolverStats.from_dict(entry.solver_stats))
+                    if inclusion_stats is not None:
+                        inclusion_stats.merge(
+                            InclusionStats.from_dict(entry.inclusion_stats)
+                        )
+                    continue
+            if self.shard is not None:
+                index, count = self.shard
+                if shard_of(digest, count) != index:
+                    # another shard owns this fingerprint: report a vacuous
+                    # verdict (never memoised, never persisted) — shard runs
+                    # exist to warm the store, their reports are discarded
+                    self.stats.shard_skipped += 1
+                    skipped_keys.add(key)
+                    verdicts[key] = (True, None, None)
+                    continue
+            if self.store is not None:
+                self.stats.store_misses += 1
+            fresh.append((representative, digest))
 
-        results = self._discharge_batch(fresh)
+        results = self._discharge_batch([ob for ob, _ in fresh])
         if len(self._memo) + len(fresh) > self.max_memo_entries:
             self._memo.clear()
-        for representative, result in zip(fresh, results):
+        for (representative, digest), result in zip(fresh, results):
             self.stats.obligations_discharged += 1
             if solver_stats is not None:
                 solver_stats.merge(SolverStats.from_dict(result["solver"]))
@@ -221,11 +299,40 @@ class ObligationEngine:
             verdict = (result["included"], result["counterexample"], result["error"])
             verdicts[representative.fingerprint()] = verdict
             self._memo[representative.fingerprint()] = verdict
+            # Resource-limit errors are NOT persisted: whether a budget is hit
+            # depends on the warm-solver snapshot, which varies with run shape
+            # — an error recorded by a small `check --method` run must not be
+            # replayed as a permanent failure by a full `evaluate`.  True
+            # verdicts (included, or a genuine counterexample) are pure in the
+            # obligation and safe to keep forever.
+            if (
+                self.store is not None
+                and store_context is not None
+                and result["error"] is None
+            ):
+                self.store.record(
+                    StoreEntry(
+                        env=self._env_fp,
+                        fp=digest,
+                        included=result["included"],
+                        counterexample=result["counterexample"],
+                        error=result["error"],
+                        solver_stats=result["solver"],
+                        inclusion_stats=result["inclusion"],
+                        scope=store_context.scope,
+                        method=store_context.method,
+                        spec=store_context.spec_digest,
+                        library=store_context.library_digest,
+                        kind=representative.kind,
+                        provenance=representative.provenance,
+                    )
+                )
 
         outcomes: dict[int, DischargeOutcome] = {}
         for representative, aliases in scheduled:
             included, counterexample, error = verdicts[representative.fingerprint()]
-            from_memo = representative.fingerprint() in memoed_keys
+            key = representative.fingerprint()
+            from_memo = key in memoed_keys
             if from_memo:
                 self.stats.memo_hits += 1
             for obligation, deduped in [(representative, False)] + [
@@ -237,6 +344,8 @@ class ObligationEngine:
                     counterexample=counterexample,
                     error=error,
                     from_memo=from_memo,
+                    from_store=key in stored_keys,
+                    skipped=key in skipped_keys,
                     deduped=deduped,
                 )
         return outcomes

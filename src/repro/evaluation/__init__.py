@@ -1,7 +1,7 @@
 """repro.evaluation — the experiment runner and Table 1–4 formatters."""
 
 from .runner import EvaluationReport, NegativeResult, run_benchmark, run_evaluation
-from .tables import negatives_table, render_all, table1, table2, table3, table4
+from .tables import negatives_table, render_all, report_json, table1, table2, table3, table4
 
 __all__ = [
     "EvaluationReport",
@@ -10,6 +10,7 @@ __all__ = [
     "run_evaluation",
     "negatives_table",
     "render_all",
+    "report_json",
     "table1",
     "table2",
     "table3",

@@ -59,9 +59,14 @@ def run_benchmark(
     *,
     config: Optional[CheckerConfig] = None,
     check_negative_variants: bool = True,
+    store=None,
 ) -> tuple[AdtStats, list[NegativeResult]]:
-    """Verify one ADT/library row plus its known-bad variants."""
-    checker = benchmark.make_checker(config)
+    """Verify one ADT/library row plus its known-bad variants.
+
+    ``store`` is an optional :class:`repro.store.ObligationStore`: discharged
+    obligations are written back to it and later runs answer from it.
+    """
+    checker = benchmark.make_checker(config, store=store)
     stats = benchmark.verify_all(checker)
     negatives: list[NegativeResult] = []
     if check_negative_variants:
@@ -84,6 +89,7 @@ def run_evaluation(
     include_slow: bool = True,
     config: Optional[CheckerConfig] = None,
     check_negative_variants: bool = True,
+    store=None,
 ) -> EvaluationReport:
     """Verify the whole corpus, mirroring the experiments behind Table 1."""
     if benchmarks is None:
@@ -92,7 +98,10 @@ def run_evaluation(
     start = time.perf_counter()
     for benchmark in benchmarks:
         stats, negatives = run_benchmark(
-            benchmark, config=config, check_negative_variants=check_negative_variants
+            benchmark,
+            config=config,
+            check_negative_variants=check_negative_variants,
+            store=store,
         )
         report.adt_stats.append(stats)
         report.negative_results.extend(negatives)

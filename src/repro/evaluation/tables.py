@@ -37,6 +37,7 @@ TABLE1_COLUMNS = [
     "#FA⊆",
     "#FAcache",
     "#Prod",
+    "#Store",
     "avg. sFA",
     "tSAT (s)",
     "tFA⊆ (s)",
@@ -44,25 +45,61 @@ TABLE1_COLUMNS = [
 ]
 
 
-def table1(report: EvaluationReport) -> str:
-    """Table 1: per-ADT summary plus the most complex method's statistics."""
+def _is_volatile_column(column: str) -> bool:
+    """Columns that legitimately differ between byte-identical runs.
+
+    Wall-clock columns vary run to run even serially, and ``#Store`` reads 0
+    on a cold run and >0 on a warm one by design; every other column is a
+    deterministic function of the obligation set and must match exactly.
+    The single source of truth is :attr:`MethodStats.VOLATILE_COLUMNS`; the
+    ``(s)`` suffix rule additionally covers the ADT-level time columns
+    (``ttotal (s)``, ``tFA⊆ (s)``) that only exist in Table 1.
+    """
+    from ..typecheck.stats import MethodStats
+
+    return column in MethodStats.VOLATILE_COLUMNS or column.endswith("(s)")
+
+
+def _deterministic(columns: Sequence[str]) -> list[str]:
+    return [column for column in columns if not _is_volatile_column(column)]
+
+
+def table1(report: EvaluationReport, *, deterministic: bool = False) -> str:
+    """Table 1: per-ADT summary plus the most complex method's statistics.
+
+    ``deterministic=True`` drops the volatile columns, yielding a rendering
+    that must be byte-identical across cold/warm/sharded/parallel runs.
+    """
+    columns = _deterministic(TABLE1_COLUMNS) if deterministic else TABLE1_COLUMNS
     rows = []
     for stats in report.adt_stats:
         row = stats.as_row()
-        rows.append([row.get(column, "") for column in TABLE1_COLUMNS])
-    return _render(TABLE1_COLUMNS, rows)
+        rows.append([row.get(column, "") for column in columns])
+    return _render(columns, rows)
 
 
 TABLE2_COLUMNS = ["Client ADT", "Underlying Library", "Representation invariant / policy"]
 
 
-def table2(benchmarks: Optional[Sequence[AdtBenchmark]] = None) -> str:
-    """Table 2: the representation invariants of the corpus (descriptive)."""
+def table2_rows(benchmarks: Optional[Sequence[AdtBenchmark]] = None) -> list[dict[str, str]]:
+    """Table 2's rows as dicts (shared by the text renderer and ``--json``)."""
     if benchmarks is None:
         benchmarks = all_benchmarks()
-    rows = [
-        [benchmark.adt, benchmark.library_name, benchmark.invariant_description]
+    return [
+        dict(
+            zip(
+                TABLE2_COLUMNS,
+                (benchmark.adt, benchmark.library_name, benchmark.invariant_description),
+            )
+        )
         for benchmark in benchmarks
+    ]
+
+
+def table2(benchmarks: Optional[Sequence[AdtBenchmark]] = None) -> str:
+    """Table 2: the representation invariants of the corpus (descriptive)."""
+    rows = [
+        [row[column] for column in TABLE2_COLUMNS] for row in table2_rows(benchmarks)
     ]
     return _render(TABLE2_COLUMNS, rows)
 
@@ -82,6 +119,7 @@ TABLE34_COLUMNS = [
     "#FAcache",
     "#Prod",
     "sFAbuilt",
+    "#Store",
     "avg. sFA",
     "tSAT (s)",
     "tInc (s)",
@@ -93,23 +131,26 @@ TABLE3_ADTS = ("Stack", "Set", "Queue", "MinSet", "LazySet")
 TABLE4_ADTS = ("Heap", "FileSystem", "DFA", "ConnectedGraph")
 
 
-def _per_method_table(report: EvaluationReport, adts: Sequence[str]) -> str:
+def _per_method_table(
+    report: EvaluationReport, adts: Sequence[str], deterministic: bool = False
+) -> str:
+    columns = _deterministic(TABLE34_COLUMNS) if deterministic else TABLE34_COLUMNS
     rows = []
     for row in report.per_method_rows():
         if row["Datatype"] not in adts:
             continue
-        rows.append([row.get(column, "") for column in TABLE34_COLUMNS])
-    return _render(TABLE34_COLUMNS, rows)
+        rows.append([row.get(column, "") for column in columns])
+    return _render(columns, rows)
 
 
-def table3(report: EvaluationReport) -> str:
+def table3(report: EvaluationReport, *, deterministic: bool = False) -> str:
     """Table 3: per-method details for the first half of the corpus."""
-    return _per_method_table(report, TABLE3_ADTS)
+    return _per_method_table(report, TABLE3_ADTS, deterministic)
 
 
-def table4(report: EvaluationReport) -> str:
+def table4(report: EvaluationReport, *, deterministic: bool = False) -> str:
     """Table 4: per-method details for the second half of the corpus."""
-    return _per_method_table(report, TABLE4_ADTS)
+    return _per_method_table(report, TABLE4_ADTS, deterministic)
 
 
 def negatives_table(report: EvaluationReport) -> str:
@@ -120,6 +161,42 @@ def negatives_table(report: EvaluationReport) -> str:
         for result in report.negative_results
     ]
     return _render(headers, rows)
+
+
+def report_json(report: EvaluationReport, store=None) -> dict:
+    """A machine-readable report (``--json``) for CI trend tracking.
+
+    Contains the raw per-ADT and per-method rows (every column, times
+    included), the negative-variant outcomes, and the *deterministic*
+    renderings of Tables 1/3/4 — the strings CI compares byte-for-byte
+    between cold and warm runs.  When a store session is passed, its
+    summary and per-method hit/miss/invalidated counts are included.
+    """
+    payload: dict[str, object] = {
+        "schema": 1,
+        "all_verified": report.all_verified,
+        "all_negatives_rejected": report.all_negatives_rejected,
+        "total_time_seconds": report.total_time_seconds,
+        "adts": [stats.as_row() for stats in report.adt_stats],
+        "per_method": report.per_method_rows(),
+        "negatives": [
+            {
+                "benchmark": result.benchmark,
+                "variant": result.variant,
+                "rejected": result.rejected,
+                "error": result.error,
+            }
+            for result in report.negative_results
+        ],
+        "tables_deterministic": {
+            "table1": table1(report, deterministic=True),
+            "table3": table3(report, deterministic=True),
+            "table4": table4(report, deterministic=True),
+        },
+    }
+    if store is not None:
+        payload["store"] = {"summary": store.summary(), "methods": store.explain()}
+    return payload
 
 
 def render_all(report: EvaluationReport) -> str:

@@ -1,0 +1,45 @@
+"""repro.store — persistent incremental verification.
+
+The subsystem behind ``pymarple --incremental``:
+
+* :mod:`repro.store.fingerprint` — process-independent content addresses for
+  terms, automata, obligations, specs and libraries;
+* :mod:`repro.store.obligation_store` — the on-disk JSON-lines store mapping
+  (environment fingerprint, obligation fingerprint) to verdicts, witness
+  traces and per-obligation discharge counters, with dependency-tracked
+  invalidation;
+* :mod:`repro.store.shard` — the sharded suite runner (imported lazily: it
+  sits above the evaluation layer, which itself depends on this package).
+"""
+
+from .fingerprint import (
+    environment_fingerprint,
+    library_digest,
+    obligation_digest,
+    sfa_digest,
+    shard_of,
+    spec_digest,
+    term_digest,
+)
+from .obligation_store import (
+    SCHEMA_VERSION,
+    MethodStoreCounts,
+    ObligationStore,
+    StoreContext,
+    StoreEntry,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MethodStoreCounts",
+    "ObligationStore",
+    "StoreContext",
+    "StoreEntry",
+    "environment_fingerprint",
+    "library_digest",
+    "obligation_digest",
+    "sfa_digest",
+    "shard_of",
+    "spec_digest",
+    "term_digest",
+]

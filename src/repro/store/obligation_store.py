@@ -1,0 +1,328 @@
+"""The persistent obligation store: verdicts + witnesses + discharge stats.
+
+An :class:`ObligationStore` is a directory holding a JSON-lines log of
+discharged obligations, content-addressed by
+(:func:`~repro.store.fingerprint.environment_fingerprint`,
+:func:`~repro.store.fingerprint.obligation_digest`):
+
+``path/meta.json``
+    ``{"schema": ...}`` — entries written under a different schema tag are
+    discarded wholesale on open (never reinterpreted).
+``path/entries.jsonl``
+    One entry per line, append-only; the last line for a key wins.  Besides
+    the verdict (included / counterexample trace / resource-limit error) each
+    entry carries the per-obligation ``SolverStats``/``InclusionStats``
+    counter dicts, so a warm run merges *exactly* the numbers a cold
+    discharge would have produced — this is what makes warm tables
+    byte-identical to cold ones — plus a dependency record (benchmark scope,
+    method, spec digest, library digest) for targeted invalidation.
+``path/shards/shard-K.jsonl``
+    Transient per-process outputs of the sharded suite runner, merged back
+    into ``entries.jsonl`` by :meth:`ObligationStore.absorb_shards`.
+
+Invalidation is dependency-tracked: when a method is about to be verified,
+:meth:`invalidate_stale` drops exactly the entries whose recorded spec or
+library digest no longer matches — entries of other benchmarks (and of this
+benchmark's unchanged methods) are untouched.  Content addressing already
+guarantees a *changed* obligation can never hit a stale verdict; invalidation
+keeps the store from accumulating unreachable entries and makes the
+``--explain`` counts meaningful.
+
+One caveat is inherited from the engine's cross-method memo: per-obligation
+counters are pure functions of (inline-solver warm snapshot, obligation), and
+the warm snapshot depends on which methods were emitted before the obligation
+first needed discharging.  Re-running the *same* command against a store is
+therefore byte-identical; mixing differently-shaped runs (``check --method``
+vs ``evaluate``) can shift cache-hit counters between columns — never
+verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Store layout version; entries under another tag are discarded on open.
+SCHEMA_VERSION = "pymarple-store-v1"
+
+_ENTRIES = "entries.jsonl"
+_META = "meta.json"
+_SHARD_DIR = "shards"
+
+
+@dataclass
+class StoreEntry:
+    """One discharged obligation: verdict, witness trace and counter dicts."""
+
+    env: str
+    fp: str
+    included: bool
+    counterexample: Optional[list[str]] = None
+    error: Optional[str] = None
+    solver_stats: dict = field(default_factory=dict)
+    inclusion_stats: dict = field(default_factory=dict)
+    scope: str = ""
+    method: str = ""
+    spec: str = ""
+    library: str = ""
+    kind: str = ""
+    provenance: str = ""
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.env, self.fp)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "env": self.env,
+                "fp": self.fp,
+                "inc": self.included,
+                "cex": self.counterexample,
+                "err": self.error,
+                "sol": self.solver_stats,
+                "fa": self.inclusion_stats,
+                "scope": self.scope,
+                "method": self.method,
+                "spec": self.spec,
+                "lib": self.library,
+                "kind": self.kind,
+                "prov": self.provenance,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "StoreEntry":
+        obj = json.loads(line)
+        return cls(
+            env=obj["env"],
+            fp=obj["fp"],
+            included=bool(obj["inc"]),
+            counterexample=obj.get("cex"),
+            error=obj.get("err"),
+            solver_stats=obj.get("sol") or {},
+            inclusion_stats=obj.get("fa") or {},
+            scope=obj.get("scope", ""),
+            method=obj.get("method", ""),
+            spec=obj.get("spec", ""),
+            library=obj.get("lib", ""),
+            kind=obj.get("kind", ""),
+            provenance=obj.get("prov", ""),
+        )
+
+
+@dataclass(frozen=True)
+class StoreContext:
+    """The dependency record attached to entries written during one method."""
+
+    scope: str
+    method: str
+    spec_digest: str
+    library_digest: str
+
+
+@dataclass
+class MethodStoreCounts:
+    """Per-method session counters backing ``--explain``."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+
+
+class ObligationStore:
+    """A content-addressed, dependency-indexed verdict store on disk."""
+
+    def __init__(self, path: os.PathLike | str, *, shard_output: Optional[int] = None) -> None:
+        self.path = Path(path)
+        #: when set, writes go to ``shards/shard-K.jsonl`` instead of the main
+        #: log, and invalidation never rewrites the (shared) main log — the
+        #: mode the sharded runner's forked children run in.
+        self.shard_output = shard_output
+        self._entries: dict[tuple[str, str], StoreEntry] = {}
+        self._pending: list[StoreEntry] = []
+        #: per-(scope, method) session counters, in first-check order
+        self.session: dict[tuple[str, str], MethodStoreCounts] = {}
+        self._load()
+
+    # -- loading -----------------------------------------------------------------
+    def _load(self) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        meta_path = self.path / _META
+        schema: Optional[str] = None
+        if meta_path.exists():
+            try:
+                schema = json.loads(meta_path.read_text()).get("schema")
+            except (OSError, ValueError):
+                schema = None
+        entries_path = self.path / _ENTRIES
+        if schema != SCHEMA_VERSION:
+            # Unknown or missing schema: never reinterpret old entries — and
+            # that includes leftover shard files from an interrupted sharded
+            # run, which absorb_shards would otherwise merge later
+            if self.shard_output is None:
+                if entries_path.exists():
+                    entries_path.unlink()
+                for shard_file in self.shard_files():
+                    shard_file.unlink()
+                meta_path.write_text(json.dumps({"schema": SCHEMA_VERSION}) + "\n")
+            return
+        if entries_path.exists():
+            with entries_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = StoreEntry.from_json(line)
+                    except (ValueError, KeyError):
+                        continue  # tolerate a torn/corrupt trailing line
+                    self._entries[entry.key] = entry
+
+    # -- the read/write surface ----------------------------------------------------
+    def lookup(self, env: str, fp: str) -> Optional[StoreEntry]:
+        return self._entries.get((env, fp))
+
+    def record(self, entry: StoreEntry) -> None:
+        self._entries[entry.key] = entry
+        self._pending.append(entry)
+
+    def flush(self) -> None:
+        """Append pending entries to the log (or to this process's shard file)."""
+        if not self._pending:
+            return
+        target = self._output_path()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("a", encoding="utf-8") as handle:
+            for entry in self._pending:
+                handle.write(entry.to_json() + "\n")
+        self._pending.clear()
+
+    def _output_path(self) -> Path:
+        if self.shard_output is None:
+            return self.path / _ENTRIES
+        return self.path / _SHARD_DIR / f"shard-{self.shard_output}.jsonl"
+
+    def compact(self) -> None:
+        """Rewrite the log with exactly the live entries (drops dead lines)."""
+        if self.shard_output is not None:
+            return
+        entries_path = self.path / _ENTRIES
+        tmp_path = entries_path.with_suffix(".jsonl.tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for entry in self._entries.values():
+                handle.write(entry.to_json() + "\n")
+        tmp_path.replace(entries_path)
+        self._pending.clear()
+
+    # -- dependency-tracked invalidation -------------------------------------------
+    def invalidate_stale(
+        self, scope: str, method: str, spec_digest: str, library_digest: str
+    ) -> int:
+        """Drop exactly the entries invalidated by a spec or library edit.
+
+        An entry of ``scope`` dies when the benchmark's library digest changed
+        (every method's obligations sat on its axioms and alphabets) or when
+        it belongs to ``method`` and that method's spec digest changed.
+        Entries of other scopes are never touched.
+        """
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.scope == scope
+            and (
+                entry.library != library_digest
+                or (entry.method == method and entry.spec != spec_digest)
+            )
+        ]
+        for key in stale:
+            del self._entries[key]
+        if stale and self.shard_output is None:
+            # compact() rewrites the log from the live entries (pending
+            # included) and clears the pending buffer — no flush needed
+            self.compact()
+        return len(stale)
+
+    # -- session bookkeeping (--explain) -------------------------------------------
+    def note_method(
+        self, scope: str, method: str, *, hits: int = 0, misses: int = 0, invalidated: int = 0
+    ) -> None:
+        counts = self.session.setdefault((scope, method), MethodStoreCounts())
+        counts.hits += hits
+        counts.misses += misses
+        counts.invalidated += invalidated
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": sum(c.hits for c in self.session.values()),
+            "misses": sum(c.misses for c in self.session.values()),
+            "invalidated": sum(c.invalidated for c in self.session.values()),
+        }
+
+    def explain(self) -> list[dict[str, object]]:
+        """Per-method hit/miss/invalidated counts, in first-check order."""
+        return [
+            {
+                "scope": scope,
+                "method": method,
+                "hits": counts.hits,
+                "misses": counts.misses,
+                "invalidated": counts.invalidated,
+            }
+            for (scope, method), counts in self.session.items()
+        ]
+
+    # -- shard merging ---------------------------------------------------------------
+    def shard_files(self) -> list[Path]:
+        shard_dir = self.path / _SHARD_DIR
+        if not shard_dir.is_dir():
+            return []
+
+        def index_of(p: Path) -> int:
+            try:
+                return int(p.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                return 1 << 30
+
+        return sorted(shard_dir.glob("shard-*.jsonl"), key=index_of)
+
+    def absorb_shards(self) -> int:
+        """Merge shard outputs into the main log, deterministically.
+
+        Files are read in shard-index order; within a file, line order.  Shard
+        assignment partitions fingerprints, so collisions only arise against
+        pre-existing entries — which already carry the same content — making
+        the merge order-insensitive in value, deterministic in bytes.
+        """
+        absorbed = 0
+        for shard_file in self.shard_files():
+            with shard_file.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = StoreEntry.from_json(line)
+                    except (ValueError, KeyError):
+                        continue
+                    if entry.key not in self._entries:
+                        self.record(entry)
+                        absorbed += 1
+            shard_file.unlink()
+        self.flush()
+        return absorbed
+
+    # -- misc ------------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StoreEntry]:
+        return iter(self._entries.values())
+
+    def entries_for_scope(self, scope: str) -> list[StoreEntry]:
+        return [entry for entry in self._entries.values() if entry.scope == scope]

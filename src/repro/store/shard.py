@@ -1,0 +1,129 @@
+"""The sharded suite runner: partition the corpus's obligations across N processes.
+
+``run_sharded_evaluation(shards=N, store=...)`` verifies the whole corpus in
+two phases:
+
+1. **Warm** — N ``fork``-ed worker processes each run the full emit walk but
+   discharge only the obligations whose fingerprint hashes into their shard
+   (:func:`repro.store.fingerprint.shard_of`), writing verdicts + counters to
+   a private ``shards/shard-K.jsonl`` file.  Obligation fingerprints are
+   content addresses, so the partition is identical in every process and
+   covers every obligation exactly once; obligations already present in the
+   store are answered from it and not re-recorded.
+2. **Merge + report** — the parent absorbs the shard files into the main log
+   (deterministically: shard-index order, first write wins) and re-runs the
+   evaluation warm: every obligation is now answered from the store, and the
+   merged tables are computed in one process.
+
+Because discharge is hermetic — every per-obligation counter is a pure
+function of (warm snapshot, obligation) — and because the warm run repeats
+the exact emit sequence of a serial run, ``--shards N`` never changes any
+counter derived from the obligation set itself: the phase-2 tables are
+byte-identical to a serial cold run's (volatile columns aside).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..evaluation.runner import EvaluationReport, run_evaluation
+from ..suite.benchmark import AdtBenchmark
+from ..suite.registry import benchmark_by_key
+from ..typecheck.checker import CheckerConfig
+from .obligation_store import ObligationStore
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _warm_shard(
+    store_path: Path,
+    index: int,
+    shards: int,
+    keys: Optional[list[str]],
+    include_slow: bool,
+    config: CheckerConfig,
+    check_negative_variants: bool,
+) -> None:
+    """One forked worker: discharge this shard's obligations into a shard file."""
+    store = ObligationStore(store_path, shard_output=index)
+    benchmarks = [benchmark_by_key(key) for key in keys] if keys is not None else None
+    # workers=1: parallelism already comes from the shard processes themselves
+    shard_config = replace(config, shard=(index, shards), workers=1)
+    run_evaluation(
+        benchmarks,
+        include_slow=include_slow,
+        config=shard_config,
+        check_negative_variants=check_negative_variants,
+        store=store,
+    )
+    store.flush()
+
+
+def run_sharded_evaluation(
+    shards: int,
+    store: ObligationStore,
+    *,
+    benchmarks: Optional[Sequence[AdtBenchmark]] = None,
+    include_slow: bool = True,
+    config: Optional[CheckerConfig] = None,
+    check_negative_variants: bool = True,
+) -> EvaluationReport:
+    """Verify the corpus with its obligations partitioned across ``shards`` processes.
+
+    ``benchmarks`` must come from the registry (the forked workers re-resolve
+    them by key).  Falls back to a plain (store-backed) run when sharding is
+    pointless or ``fork`` is unavailable.
+    """
+    if store is None:
+        raise ValueError("sharded evaluation requires an obligation store")
+    config = config or CheckerConfig()
+    if shards <= 1 or not _fork_available():
+        return run_evaluation(
+            benchmarks,
+            include_slow=include_slow,
+            config=config,
+            check_negative_variants=check_negative_variants,
+            store=store,
+        )
+
+    keys = [benchmark.key for benchmark in benchmarks] if benchmarks is not None else None
+    store.flush()  # children read the main log; make pending entries visible
+
+    context = multiprocessing.get_context("fork")
+    processes = [
+        context.Process(
+            target=_warm_shard,
+            args=(
+                store.path,
+                index,
+                shards,
+                keys,
+                include_slow,
+                config,
+                check_negative_variants,
+            ),
+        )
+        for index in range(shards)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    failed = [index for index, process in enumerate(processes) if process.exitcode != 0]
+    if failed:
+        raise RuntimeError(f"shard worker(s) {failed} exited with a non-zero status")
+
+    store.absorb_shards()
+    # phase 2: a warm single-process run produces the merged, deterministic report
+    return run_evaluation(
+        benchmarks,
+        include_slow=include_slow,
+        config=config,
+        check_negative_variants=check_negative_variants,
+        store=store,
+    )

@@ -74,7 +74,7 @@ class AdtBenchmark:
             pure_ops=self.library.pure_ops.names(),
         )
 
-    def make_checker(self, config: Optional[CheckerConfig] = None) -> Checker:
+    def make_checker(self, config: Optional[CheckerConfig] = None, *, store=None) -> Checker:
         from dataclasses import replace
 
         from ..sfa.alphabet import resolve_max_literals
@@ -98,6 +98,8 @@ class AdtBenchmark:
             axioms=self.library.axioms,
             constants=all_constants,
             config=config,
+            store=store,
+            store_scope=self.key,
         )
 
     # -- verification ------------------------------------------------------------------

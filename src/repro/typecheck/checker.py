@@ -40,6 +40,8 @@ from ..smt.solver import SolverError
 from ..sfa.inclusion import InclusionChecker
 from ..sfa.signatures import OperatorRegistry
 from ..sfa.symbolic import Sfa
+from ..store.fingerprint import library_digest, spec_digest
+from ..store.obligation_store import ObligationStore, StoreContext
 from ..types.context import BuiltinContext, PureOpContext, TypingContext, TypingError
 from ..types.rtypes import (
     FunType,
@@ -91,6 +93,10 @@ class CheckerConfig:
     #: process-pool width for obligation discharge (1 = in-process serial).
     #: Overridable via the REPRO_WORKERS environment variable (CI matrix).
     workers: int = field(default_factory=_default_workers)
+    #: ``(index, count)`` — discharge only the obligations whose fingerprint
+    #: hashes into this shard (set by the sharded suite runner; the resulting
+    #: report is only meaningful for warming an obligation store)
+    shard: Optional[tuple[int, int]] = None
 
 
 class Checker:
@@ -105,12 +111,21 @@ class Checker:
         axioms: Sequence[smt.Axiom] = (),
         constants: Mapping[str, smt.Term] | None = None,
         config: CheckerConfig | None = None,
+        store: ObligationStore | None = None,
+        store_scope: str = "",
     ) -> None:
         self.operators = operators
         self.delta = delta
         self.pure_ops = pure_ops
         self.constants = dict(constants or {})
         self.config = config or CheckerConfig()
+        self.store = store
+        self.store_scope = store_scope or "adhoc"
+        #: dependency-index key for everything obligations of this checker
+        #: were derived from besides the method specs themselves
+        self._library_digest = (
+            library_digest(operators, axioms, self.constants) if store is not None else ""
+        )
         self.solver = smt.Solver(axioms=list(axioms))
         # Inline queries that steer the walk (HAT subtyping, ghost abduction)
         # still go through this shared checker; deferred leaf obligations are
@@ -136,6 +151,8 @@ class Checker:
             workers=self.config.workers,
             # per-obligation solvers read the inline solver's caches (read-only)
             warm_solver=self.solver,
+            store=store,
+            shard=self.config.shard,
         )
         self._obligations: Optional[ObligationSet] = None
 
@@ -156,7 +173,25 @@ class Checker:
         start = time.perf_counter()
         solver_before = self.solver.stats.snapshot()
         inclusion_before = self.inclusion.stats.snapshot()
+        engine_before = self.obligation_engine.stats.snapshot()
 
+        store_context: Optional[StoreContext] = None
+        invalidated = 0
+        if self.store is not None:
+            # digest the spec as *declared* (before renaming its parameters to
+            # this implementation's): known-bad variants rename parameters, and
+            # an alpha-renaming must not read as a spec edit and ping-pong the
+            # invalidation between a method and its negative variant
+            digest = spec_digest(spec)
+            invalidated = self.store.invalidate_stale(
+                self.store_scope, spec.name, digest, self._library_digest
+            )
+            store_context = StoreContext(
+                scope=self.store_scope,
+                method=spec.name,
+                spec_digest=digest,
+                library_digest=self._library_digest,
+            )
         spec = spec.rename_params([name for name, _ in definition.params])
         self._module_specs = dict(module_specs or {})
         self._module_specs.setdefault(spec.name, spec)
@@ -191,6 +226,7 @@ class Checker:
             self._obligations,
             solver_stats=self.solver.stats,
             inclusion_stats=self.inclusion.stats,
+            store_context=store_context,
         )
         self._obligations = None
 
@@ -203,6 +239,7 @@ class Checker:
             default=None,
         )
         error: Optional[str] = None
+        counterexample: Optional[list[str]] = None
         if failure is not None:
             if failure.error is not None:
                 error = (
@@ -212,6 +249,7 @@ class Checker:
             else:
                 error = failure.obligation.failure_message
                 if failure.counterexample:
+                    counterexample = list(failure.counterexample)
                     trace = " ; ".join(failure.counterexample)
                     error = f"{error} [counterexample trace: {trace}]"
         elif inline_error is not None:
@@ -220,6 +258,7 @@ class Checker:
 
         solver_after = self.solver.stats
         inclusion_after = self.inclusion.stats
+        engine_after = self.obligation_engine.stats
         stats = MethodStats(
             method=spec.name,
             branches=ast.count_branches(definition.body),
@@ -231,6 +270,7 @@ class Checker:
             dfa_cache_hits=inclusion_after.dfa_cache_hits - inclusion_before.dfa_cache_hits,
             prod_states=inclusion_after.prod_states - inclusion_before.prod_states,
             states_built=inclusion_after.states_built - inclusion_before.states_built,
+            store_hits=engine_after.store_hits - engine_before.store_hits,
             smt_time_seconds=solver_after.time_seconds - solver_before.time_seconds,
             fa_time_seconds=inclusion_after.fa_time_seconds - inclusion_before.fa_time_seconds,
             total_time_seconds=time.perf_counter() - start,
@@ -240,7 +280,22 @@ class Checker:
             stats.average_fa_size = (
                 inclusion_after.total_transitions - inclusion_before.total_transitions
             ) / built
-        return MethodResult(method=spec.name, verified=verified, error=error, stats=stats)
+        if self.store is not None:
+            self.store.note_method(
+                self.store_scope,
+                spec.name,
+                hits=engine_after.store_hits - engine_before.store_hits,
+                misses=engine_after.store_misses - engine_before.store_misses,
+                invalidated=invalidated,
+            )
+            self.store.flush()
+        return MethodResult(
+            method=spec.name,
+            verified=verified,
+            error=error,
+            counterexample=counterexample,
+            stats=stats,
+        )
 
     # ------------------------------------------------------------------
     # Value handling

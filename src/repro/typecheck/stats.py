@@ -25,6 +25,8 @@ class MethodStats:
     prod_states: int = 0
     #: DFA states materialised by the compiled discharge path
     states_built: int = 0
+    #: obligations answered by the persistent store (warm start, #Store)
+    store_hits: int = 0
     average_fa_size: float = 0.0
     smt_time_seconds: float = 0.0
     fa_time_seconds: float = 0.0
@@ -42,6 +44,7 @@ class MethodStats:
             "#FAcache": self.dfa_cache_hits,
             "#Prod": self.prod_states,
             "sFAbuilt": self.states_built,
+            "#Store": self.store_hits,
             "avg. sFA": round(self.average_fa_size, 1),
             "tSAT (s)": round(self.smt_time_seconds, 2),
             "tInc (s)": round(self.fa_time_seconds, 2),
@@ -53,12 +56,17 @@ class MethodStats:
     #: worker counts, but times vary run to run even serially)
     TIME_COLUMNS = ("tSAT (s)", "tInc (s)", "t (s)")
 
+    #: columns excluded from cold-vs-warm/worker-count determinism
+    #: comparisons: the time columns, plus #Store, which by design reads 0
+    #: on a cold run and >0 on a warm one
+    VOLATILE_COLUMNS = TIME_COLUMNS + ("#Store",)
+
     def counter_row(self) -> dict[str, object]:
         """The :meth:`as_row` columns that are deterministic counters."""
         return {
             key: value
             for key, value in self.as_row().items()
-            if key not in self.TIME_COLUMNS
+            if key not in self.VOLATILE_COLUMNS
         }
 
 
@@ -69,6 +77,8 @@ class MethodResult:
     method: str
     verified: bool
     error: Optional[str] = None
+    #: the witness trace of the first failing obligation (readable events)
+    counterexample: Optional[list[str]] = None
     stats: MethodStats = field(default_factory=MethodStats)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
@@ -119,6 +129,7 @@ class AdtStats:
                     "#FA⊆": hardest.stats.fa_inclusion_checks,
                     "#FAcache": hardest.stats.dfa_cache_hits,
                     "#Prod": hardest.stats.prod_states,
+                    "#Store": hardest.stats.store_hits,
                     "avg. sFA": round(hardest.stats.average_fa_size, 1),
                     "tSAT (s)": round(hardest.stats.smt_time_seconds, 2),
                     "tFA⊆ (s)": round(hardest.stats.fa_time_seconds, 2),

@@ -1,0 +1,176 @@
+"""End-to-end coverage for the ``pymarple`` command-line interface.
+
+Exercises exit codes, the error paths (unknown benchmark/method), the
+checker-knob flags that used to be reachable only through ``REPRO_*``
+environment variables, the ``--json`` machine-readable output, and the
+incremental-store surface (``--incremental/--store/--explain``).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+# -- exit codes and error paths ---------------------------------------------------
+
+
+def test_list_exits_zero(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Set/KVStore" in out and "FileSystem/KVStore" in out
+
+
+def test_check_single_method_exits_zero(capsys):
+    assert cli_main(["check", "Set/KVStore", "--method", "mem"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_verify_is_an_alias_of_check(capsys):
+    assert cli_main(["verify", "Set/KVStore", "--method", "mem"]) == 0
+    assert "VERIFIED" in capsys.readouterr().out
+
+
+def test_unknown_benchmark_exits_two(capsys):
+    assert cli_main(["check", "Nope/Nothing"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark" in err and "Set/KVStore" in err
+
+
+def test_unknown_method_exits_two(capsys):
+    assert cli_main(["check", "Set/KVStore", "--method", "frobnicate"]) == 2
+    err = capsys.readouterr().err
+    assert "no method" in err and "insert" in err
+
+
+def test_argparse_rejects_bad_usage():
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["table", "9"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit):
+        cli_main(["check", "Set/KVStore", "--discharge", "telepathy"])
+
+
+# -- checker knobs -----------------------------------------------------------------
+
+
+def test_checker_knob_flags_are_accepted(capsys):
+    assert (
+        cli_main(
+            [
+                "check",
+                "Set/KVStore",
+                "--workers",
+                "2",
+                "--discharge",
+                "compiled",
+                "--strategy",
+                "exhaustive",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "all verified = True" in out
+
+
+def test_knob_flags_reach_the_checker_config(monkeypatch):
+    captured = {}
+    from repro.suite.benchmark import AdtBenchmark
+
+    original = AdtBenchmark.make_checker
+
+    def spy(self, config=None, *, store=None):
+        captured["config"] = config
+        return original(self, config, store=store)
+
+    monkeypatch.setattr(AdtBenchmark, "make_checker", spy)
+    assert (
+        cli_main(
+            ["check", "Set/KVStore", "--workers", "3", "--discharge", "compiled", "--strategy", "exhaustive"]
+        )
+        == 0
+    )
+    config = captured["config"]
+    assert config.workers == 3
+    assert config.discharge == "compiled"
+    assert config.enumeration_strategy == "exhaustive"
+
+
+# -- JSON output -------------------------------------------------------------------
+
+
+def test_table2_json(capsys):
+    assert cli_main(["table", "2", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert any(row["Client ADT"] == "Set" for row in rows)
+
+
+def test_table_json_filters_rows_to_the_tables_adts(capsys, tmp_path):
+    store_path = str(tmp_path / "store")  # warm the runs so this stays cheap
+    assert cli_main(["table", "3", "--fast", "--json", "--store", store_path]) == 0
+    table3_rows = json.loads(capsys.readouterr().out)
+    assert cli_main(["table", "4", "--fast", "--json", "--store", store_path]) == 0
+    table4_rows = json.loads(capsys.readouterr().out)
+    assert {row["Datatype"] for row in table3_rows} <= {"Stack", "Set", "Queue", "MinSet", "LazySet"}
+    assert {row["Datatype"] for row in table4_rows} <= {"Heap", "FileSystem", "DFA", "ConnectedGraph"}
+    assert table3_rows and table4_rows
+    assert not {row["Datatype"] for row in table3_rows} & {
+        row["Datatype"] for row in table4_rows
+    }
+
+
+def test_evaluate_json_is_machine_readable(capsys, tmp_path):
+    store_path = str(tmp_path / "store")
+    assert cli_main(["evaluate", "--fast", "--json", "--store", store_path]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["all_verified"] is True
+    assert payload["all_negatives_rejected"] is True
+    assert any(row["ADT"] == "Set" for row in payload["adts"])
+    assert any(row["Method"] == "insert" for row in payload["per_method"])
+    assert "#Store" in payload["per_method"][0]
+    assert set(payload["tables_deterministic"]) == {"table1", "table3", "table4"}
+    assert payload["store"]["summary"]["misses"] > 0  # cold run
+
+    # a second (warm) run answers from the store and reproduces the tables
+    assert cli_main(["evaluate", "--fast", "--json", "--store", store_path]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["store"]["summary"]["hits"] > 0
+    assert warm["store"]["summary"]["misses"] == 0
+    assert warm["tables_deterministic"] == payload["tables_deterministic"]
+
+
+# -- the incremental store surface -------------------------------------------------
+
+
+def test_check_incremental_store_and_explain(capsys, tmp_path):
+    store_path = str(tmp_path / "store")
+    assert cli_main(["check", "Set/KVStore", "--store", store_path]) == 0
+    cold = capsys.readouterr().out
+    assert "store:" in cold and "misses" in cold
+
+    assert cli_main(["check", "Set/KVStore", "--store", store_path, "--explain"]) == 0
+    warm = capsys.readouterr().out
+    assert "0 misses" in warm
+    assert "Set/KVStore.insert: hits=" in warm
+
+
+def test_incremental_defaults_to_local_store(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert cli_main(["check", "Set/KVStore", "--method", "empty", "--incremental"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / ".pymarple-store" / "entries.jsonl").exists()
+
+
+def test_evaluate_sharded_cli(capsys, tmp_path):
+    store_path = str(tmp_path / "store")
+    assert (
+        cli_main(["evaluate", "--fast", "--shards", "2", "--store", store_path, "--json"])
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["all_verified"] is True
+    # phase 2 is a warm run over the merged shard outputs
+    assert payload["store"]["summary"]["misses"] == 0
+    assert payload["store"]["summary"]["hits"] > 0
