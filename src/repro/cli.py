@@ -10,8 +10,8 @@ Usage::
     pymarple evaluate --shards 4        # shard the corpus's obligations
     pymarple table 1|2|3|4 [--fast]     # print a specific paper table
 
-Checker knobs (``--workers``, ``--discharge``, ``--strategy``) mirror the
-``REPRO_*`` environment variables.  Incremental verification is enabled with
+Checker knobs (``--workers``, ``--discharge``, ``--strategy``, ``--backend``)
+mirror the ``REPRO_*`` environment variables.  Incremental verification is enabled with
 ``--incremental`` (or by naming a store explicitly with ``--store PATH``):
 discharged obligations are persisted to an on-disk store and answered from it
 on later runs; ``--explain`` prints the per-method hit/miss/invalidated
@@ -26,6 +26,7 @@ import sys
 from typing import Optional, Sequence
 
 from .evaluation import render_all, report_json, run_evaluation, table1, table2, table3, table4
+from .smt.backends import known_backends, resolve_backend
 from .store.obligation_store import ObligationStore
 from .suite.registry import all_benchmarks, benchmark_by_key
 from .typecheck.checker import CheckerConfig
@@ -57,6 +58,11 @@ def _add_checker_flags(parser: argparse.ArgumentParser) -> None:
         choices=("guided", "exhaustive"),
         help="minterm enumeration strategy (default: guided)",
     )
+    group.add_argument(
+        "--backend",
+        choices=known_backends(),
+        help="SAT core behind the lazy SMT loop (default: REPRO_BACKEND or dpll)",
+    )
 
 
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
@@ -86,7 +92,18 @@ def _config_from_args(args: argparse.Namespace) -> CheckerConfig:
         kwargs["discharge"] = args.discharge
     if getattr(args, "strategy", None) is not None:
         kwargs["enumeration_strategy"] = args.strategy
-    return CheckerConfig(**kwargs)
+    if getattr(args, "backend", None) is not None:
+        kwargs["backend"] = args.backend
+    config = CheckerConfig(**kwargs)
+    # Validate the *resolved* backend, wherever it came from: argparse already
+    # rejects unknown --backend values, but REPRO_BACKEND arrives unchecked
+    # and must fail with the same clean exit-2 diagnostics, not a traceback.
+    try:
+        resolve_backend(config.backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return config
 
 
 def _open_store(args: argparse.Namespace) -> Optional[ObligationStore]:

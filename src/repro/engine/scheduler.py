@@ -90,6 +90,8 @@ class DischargeParams:
     max_literals: Optional[int] = None
     strategy: str = "guided"
     discharge: str = "lazy"
+    #: which SAT core answers the per-obligation solver's queries
+    backend: str = "dpll"
     warm_solver: Optional[smt.Solver] = None
 
 
@@ -105,7 +107,11 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
     the reported query counts, so any sibling-dependent sharing would leak
     scheduling order into the tables.
     """
-    solver = smt.Solver(axioms=list(params.axioms), warm_from=params.warm_solver)
+    solver = smt.Solver(
+        axioms=list(params.axioms),
+        warm_from=params.warm_solver,
+        backend=params.backend,
+    )
     checker = InclusionChecker(
         solver,
         params.operators,
@@ -165,6 +171,7 @@ class ObligationEngine:
         max_literals: Optional[int] = None,
         strategy: str = "guided",
         discharge: str = "lazy",
+        backend: str = "dpll",
         workers: int = 1,
         warm_solver: Optional[smt.Solver] = None,
         store: Optional[ObligationStore] = None,
@@ -178,6 +185,7 @@ class ObligationEngine:
             max_literals=max_literals,
             strategy=strategy,
             discharge=discharge,
+            backend=backend,
             warm_solver=warm_solver,
         )
         self.workers = workers
@@ -198,6 +206,7 @@ class ObligationEngine:
                 max_literals=max_literals,
                 strategy=strategy,
                 discharge=discharge,
+                backend=backend,
             )
             if store is not None
             else None

@@ -1,0 +1,179 @@
+"""An optional external-solver backend bridging the SAT seam to z3.
+
+The reproduction's lazy SMT loop stays in charge — Tseitin encoding, EUF +
+arithmetic theory checking and blocking clauses all run through the existing
+:mod:`repro.smt` term layer — but the propositional queries are answered by
+z3's SAT engine instead of the built-in DPLL/CDCL cores.  Integer DIMACS
+variables map to z3 ``Bool`` constants, clauses are asserted into one
+incremental ``z3.Solver``, and assumptions ride on ``Solver.check(*lits)``.
+
+z3 is deliberately a soft dependency: :func:`z3_available` gates the backend,
+and everything that mentions it (CLI choices, the differential suite's z3
+leg) auto-skips when the module is missing.  ``phase_hint`` is accepted but
+ignored — z3 picks its own phases — which is allowed by the backend contract:
+hints affect only which model is returned, never whether one exists.  Models
+are completed over every known variable, so ``priority_vars`` are trivially
+assigned and minterm projection keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+Clause = tuple[int, ...]
+
+try:  # pragma: no cover - exercised only where z3 is installed
+    import z3 as _z3
+except ImportError:  # pragma: no cover
+    _z3 = None
+
+
+def z3_available() -> bool:
+    """Is the optional z3 dependency importable in this environment?"""
+    return _z3 is not None
+
+
+class Z3Backend:
+    """SatBackend adapter over one incremental ``z3.Solver``."""
+
+    def __init__(self) -> None:
+        if _z3 is None:  # pragma: no cover - construction is gated
+            raise RuntimeError(
+                "the z3 backend requires the 'z3-solver' package; "
+                "install it or pick backend='dpll'/'cdcl'"
+            )
+        self._solver = _z3.Solver()
+        # pin the seeds so repeated runs return the same models
+        self._solver.set("random_seed", 0)
+        self._bools: list = []  # index v-1 -> the z3 Bool of DIMACS variable v
+        self._num_clauses = 0
+        self._has_empty_clause = False
+        self.priority_vars: tuple[int, ...] = ()
+        self.phase_hint: dict[int, bool] = {}
+        self.stats_decisions = 0
+        self.stats_propagations = 0
+        self.stats_conflicts = 0
+        self.stats_restarts = 0
+        #: last harvested cumulative totals per z3 statistics key, so the
+        #: stats_* counters accumulate deltas across check() calls
+        self._statistics_seen: dict[str, float] = {}
+        #: the statistics key latched per stats_* attribute on its first
+        #: successful harvest — re-selecting every call could flap between
+        #: overlapping keys ("conflicts" vs "sat conflicts") and double-count
+        self._statistics_key: dict[str, str] = {}
+
+    # -- problem construction ---------------------------------------------------
+    def _bool(self, variable: int):
+        while len(self._bools) < variable:
+            self._bools.append(_z3.Bool(f"v{len(self._bools) + 1}"))
+        return self._bools[variable - 1]
+
+    def _literal(self, lit: int):
+        atom = self._bool(abs(lit))
+        return atom if lit > 0 else _z3.Not(atom)
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        clause = tuple(clause)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+        self._num_clauses += 1
+        if not clause:
+            self._has_empty_clause = True
+            self._solver.add(_z3.BoolVal(False))
+            return
+        self._solver.add(_z3.Or(*[self._literal(lit) for lit in clause]))
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def ensure_vars(self, num_vars: int) -> None:
+        self._bool(num_vars) if num_vars > 0 else None
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._bools)
+
+    @property
+    def num_clauses(self) -> int:
+        return self._num_clauses
+
+    # -- solving ------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[int] = ()) -> Optional[dict[int, bool]]:
+        return self.solve_partial(assumptions)
+
+    def is_satisfiable(self, assumptions: Iterable[int] = ()) -> bool:
+        return self.solve_partial(assumptions) is not None
+
+    def solve_partial(self, assumptions: Iterable[int] = ()) -> Optional[dict[int, bool]]:
+        """A (total) model ``{var: bool}`` or ``None`` if UNSAT.
+
+        z3 models are completed over every declared variable; totality is a
+        legal instance of the partial-model contract (a total model satisfies
+        every clause), it merely gives the theory checker more literals.
+        """
+        if self._has_empty_clause:
+            return None
+        literals = []
+        for lit in assumptions:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            literals.append(self._literal(lit))
+        outcome = self._solver.check(*literals)
+        self._harvest_statistics()
+        if outcome == _z3.unsat:
+            return None
+        if outcome != _z3.sat:  # pragma: no cover - pure SAT never times out
+            raise RuntimeError(f"z3 returned {outcome!r} on a propositional query")
+        model = self._solver.model()
+        return {
+            variable: bool(model.eval(self._bools[variable - 1], model_completion=True))
+            for variable in range(1, len(self._bools) + 1)
+        }
+
+    def _harvest_statistics(self) -> None:
+        """Mirror z3's own search counters into the ``stats_*`` surface.
+
+        Best-effort: key names vary by z3 version and tactic ("conflicts" vs
+        "sat conflicts", …), and z3 reports them cumulatively per solver —
+        deltas against the last harvest are what gets accumulated, so the
+        #Confl column reflects real effort instead of a hard-coded zero.
+        """
+        try:
+            statistics = self._solver.statistics()
+            totals = {key: statistics.get_key_value(key) for key in statistics.keys()}
+        except _z3.Z3Exception:  # pragma: no cover - defensive
+            return
+        for attribute, suffix in (
+            ("stats_conflicts", "conflicts"),
+            ("stats_decisions", "decisions"),
+            ("stats_propagations", "propagations"),
+            ("stats_restarts", "restarts"),
+        ):
+            # z3 may report both "conflicts" and "sat conflicts" for one
+            # search; harvest exactly one preferred key — latched on first
+            # sight — so nothing is ever double-counted
+            key = self._statistics_key.get(attribute)
+            if key is None:
+                candidates = [f"sat {suffix}", suffix] + sorted(
+                    name for name in totals if name.endswith(suffix)
+                )
+                key = next(
+                    (
+                        name
+                        for name in candidates
+                        if isinstance(totals.get(name), (int, float))
+                    ),
+                    None,
+                )
+                if key is None:
+                    continue
+                self._statistics_key[attribute] = key
+            total = totals.get(key)
+            if not isinstance(total, (int, float)):
+                continue
+            delta = total - self._statistics_seen.get(key, 0)
+            self._statistics_seen[key] = total
+            if delta > 0:
+                setattr(self, attribute, getattr(self, attribute) + int(delta))

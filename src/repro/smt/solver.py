@@ -2,10 +2,12 @@
 
 Implements the classic *lazy SMT* architecture: the input formula (plus
 ground instances of the method-predicate axioms) is Tseitin-encoded and
-handed to the DPLL SAT core; every propositional model is checked against
-the EUF + linear-arithmetic theory combination; theory conflicts are turned
-into blocking clauses until either a theory-consistent model is found (SAT)
-or the propositional abstraction becomes unsatisfiable (UNSAT).
+handed to a pluggable SAT core (:mod:`repro.smt.backends` — DPLL, CDCL or an
+external z3, selected by ``Solver(backend=...)`` / ``REPRO_BACKEND``); every
+propositional model is checked against the EUF + linear-arithmetic theory
+combination; theory conflicts are turned into blocking clauses until either
+a theory-consistent model is found (SAT) or the propositional abstraction
+becomes unsatisfiable (UNSAT).
 
 The :class:`Solver` also exposes the two derived queries the type checker
 needs — validity and implication — and records statistics (#SAT queries and
@@ -35,8 +37,8 @@ from typing import Iterable, Mapping, Optional, Sequence
 from . import terms
 from ..statsutil import MergeableStats
 from .axioms import Axiom, instantiate
+from .backends import SatBackend, make_sat_backend, resolve_backend
 from .cnf import CnfBuilder
-from .sat import SatSolver
 from .terms import Term
 from .theory import check_theory
 
@@ -47,6 +49,14 @@ class SolverStats(MergeableStats):
 
     ``merge``/``snapshot``/``as_dict`` come from :class:`MergeableStats`, so
     every field added here automatically participates in worker-result merges.
+
+    The ``sat_*`` fields are the SAT core's own counters (decisions,
+    propagations, conflicts, restarts), accumulated across every encoded
+    query.  Together with ``queries``/``theory_conflicts`` they are the
+    *backend-sensitive* counters: which model a backend returns steers the
+    enumeration's branching, so DPLL/CDCL/z3 legitimately report different
+    values while agreeing on every verdict (and on every obligation-derived
+    counter downstream).
     """
 
     queries: int = 0
@@ -58,6 +68,11 @@ class SolverStats(MergeableStats):
     cache_misses: int = 0
     #: satisfiable assignments produced by :meth:`Solver.enumerate_models`
     models_enumerated: int = 0
+    #: SAT-core internals (per-backend columns in the tables)
+    sat_decisions: int = 0
+    sat_propagations: int = 0
+    sat_conflicts: int = 0
+    sat_restarts: int = 0
     time_seconds: float = 0.0
 
 
@@ -76,16 +91,23 @@ class Solver:
         max_lazy_iterations: int = 20000,
         max_cache_entries: int = 100_000,
         warm_from: Optional["Solver"] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.axioms = tuple(axioms)
+        #: which SAT core answers the encoded queries (dpll / cdcl / z3);
+        #: ``None`` defers to REPRO_BACKEND, then "dpll"
+        self.backend = resolve_backend(backend)
         self.instantiation_rounds = instantiation_rounds
         self.max_lazy_iterations = max_lazy_iterations
         self.max_cache_entries = max_cache_entries
         self.stats = SolverStats()
         # Terms are interned, so a term_id is a canonical content address for
         # the whole goal; both caches are sound because the axiom set of a
-        # Solver instance is fixed at construction time.
-        self._sat_cache: dict[int, bool] = {}
+        # Solver instance is fixed at construction time.  Keys carry the
+        # backend id: verdicts are backend-independent, but the per-backend
+        # counters (#SAT, #Confl) are only pure in (backend, obligation) if a
+        # warm view from another backend can never answer this one's queries.
+        self._sat_cache: dict[tuple[str, int], bool] = {}
         self._enum_cache: dict[tuple, tuple] = {}
         # Theory conflicts are valid lemmas (the negation of an inconsistent
         # conjunction); remembering them across queries lets every later
@@ -105,14 +127,21 @@ class Solver:
         # query counts.
         if warm_from is not None and warm_from.axioms != self.axioms:
             raise ValueError("warm_from requires an identical axiom set")
-        self._base_sat_cache: Mapping[int, bool] = (
+        self._base_sat_cache: Mapping[tuple[str, int], bool] = (
             warm_from._sat_cache if warm_from is not None else {}
         )
         self._base_enum_cache: Mapping[tuple, tuple] = (
             warm_from._enum_cache if warm_from is not None else {}
         )
+        # Lemmas are sound for any backend (they are theory facts), but the
+        # set remembered depends on which models the base backend happened to
+        # walk; installing another backend's lemma history would couple this
+        # backend's #SAT counters to it.  Cross-backend warm views therefore
+        # share nothing (the cache keys above diverge on the backend id too).
         self._base_theory_lemmas: Mapping[tuple, list[tuple[Term, bool]]] = (
-            warm_from._theory_lemmas if warm_from is not None else {}
+            warm_from._theory_lemmas
+            if warm_from is not None and warm_from.backend == self.backend
+            else {}
         )
 
     def clear_caches(self) -> None:
@@ -150,9 +179,10 @@ class Solver:
         hits are tallied in ``stats.cache_hits``.
         """
         goal = terms.and_(formula, *extra)
-        cached = self._sat_cache.get(goal.term_id)
+        key = (self.backend, goal.term_id)
+        cached = self._sat_cache.get(key)
         if cached is None:
-            cached = self._base_sat_cache.get(goal.term_id)
+            cached = self._base_sat_cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
@@ -167,7 +197,7 @@ class Solver:
             self.stats.unsat_results += 1
         if len(self._sat_cache) >= self.max_cache_entries:
             self._sat_cache.clear()
-        self._sat_cache[goal.term_id] = result
+        self._sat_cache[key] = result
         return result
 
     def is_valid(self, formula: Term, *, hypotheses: Iterable[Term] = ()) -> bool:
@@ -206,7 +236,7 @@ class Solver:
         """
         lits = tuple(literals)
         goal = terms.and_(base if base is not None else terms.TRUE, *extra)
-        key = (goal.term_id, tuple(lit.term_id for lit in lits))
+        key = (self.backend, goal.term_id, tuple(lit.term_id for lit in lits))
         cached = self._enum_cache.get(key)
         if cached is None:
             cached = self._base_enum_cache.get(key)
@@ -287,7 +317,7 @@ class Solver:
         return found
 
     # -- the lazy SMT loop ------------------------------------------------------------
-    def _encode(self, goal: Term, lits: tuple[Term, ...] = ()) -> tuple[CnfBuilder, SatSolver, list[int]]:
+    def _encode(self, goal: Term, lits: tuple[Term, ...] = ()) -> tuple[CnfBuilder, SatBackend, list[int]]:
         """Tseitin-encode ``goal`` (plus axiom instances and known lemmas)."""
         instances = instantiate(
             self.axioms, [goal, *lits], rounds=self.instantiation_rounds
@@ -298,14 +328,14 @@ class Solver:
             builder.assert_formula(instance)
         lit_vars = [builder.var_for_atom(lit) for lit in lits]
         self._install_lemmas(builder)
-        sat = SatSolver()
+        sat = make_sat_backend(self.backend)
         sat.ensure_vars(builder.num_vars)
         return builder, sat, lit_vars
 
     def _solve_encoded(
         self,
         builder: CnfBuilder,
-        sat: SatSolver,
+        sat: SatBackend,
         assumptions: tuple[int, ...] = (),
     ) -> Optional[dict[int, bool]]:
         """One lazy-SMT query on an encoded problem: a partial model or None.
@@ -317,24 +347,36 @@ class Solver:
         assigned impose no theory constraint, and skipping them avoids
         refuting arbitrary default values one blocking clause at a time.
         """
-        for _ in range(self.max_lazy_iterations):
-            for clause in builder.clauses[sat.num_clauses:]:
-                sat.add_clause(clause)
-            model = sat.solve_partial(assumptions)
-            if model is None:
-                return None
-            literals = [
-                (atom, model[var])
-                for var, atom in builder.atom_of_var.items()
-                if var in model
-            ]
-            theory = check_theory(literals)
-            if theory.consistent:
-                return model
-            self.stats.theory_conflicts += 1
-            self._remember_lemma(theory.conflict)
-            builder.block_assignment(theory.conflict)
-        raise SolverError("lazy SMT loop exceeded its iteration budget")
+        before = (
+            sat.stats_decisions,
+            sat.stats_propagations,
+            sat.stats_conflicts,
+            sat.stats_restarts,
+        )
+        try:
+            for _ in range(self.max_lazy_iterations):
+                for clause in builder.clauses[sat.num_clauses:]:
+                    sat.add_clause(clause)
+                model = sat.solve_partial(assumptions)
+                if model is None:
+                    return None
+                literals = [
+                    (atom, model[var])
+                    for var, atom in builder.atom_of_var.items()
+                    if var in model
+                ]
+                theory = check_theory(literals)
+                if theory.consistent:
+                    return model
+                self.stats.theory_conflicts += 1
+                self._remember_lemma(theory.conflict)
+                builder.block_assignment(theory.conflict)
+            raise SolverError("lazy SMT loop exceeded its iteration budget")
+        finally:
+            self.stats.sat_decisions += sat.stats_decisions - before[0]
+            self.stats.sat_propagations += sat.stats_propagations - before[1]
+            self.stats.sat_conflicts += sat.stats_conflicts - before[2]
+            self.stats.sat_restarts += sat.stats_restarts - before[3]
 
     def _check(self, goal: Term) -> bool:
         if goal.is_false:
@@ -343,15 +385,21 @@ class Solver:
         return self._solve_encoded(builder, sat) is not None
 
 
-_DEFAULT_SOLVER: Optional[Solver] = None
+_DEFAULT_SOLVERS: dict[str, Solver] = {}
 
 
 def default_solver() -> Solver:
-    """A process-wide solver with no background axioms (useful in tests)."""
-    global _DEFAULT_SOLVER
-    if _DEFAULT_SOLVER is None:
-        _DEFAULT_SOLVER = Solver()
-    return _DEFAULT_SOLVER
+    """A process-wide solver with no background axioms (useful in tests).
+
+    One instance per backend, so flipping ``REPRO_BACKEND`` mid-process (as
+    the differential suite does) never hands out a solver whose caches were
+    warmed under another core.
+    """
+    backend = resolve_backend(None)
+    solver = _DEFAULT_SOLVERS.get(backend)
+    if solver is None:
+        solver = _DEFAULT_SOLVERS[backend] = Solver(backend=backend)
+    return solver
 
 
 def is_satisfiable(formula: Term) -> bool:

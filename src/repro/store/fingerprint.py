@@ -230,14 +230,19 @@ def environment_fingerprint(
     max_literals: Optional[int] = None,
     strategy: str = "guided",
     discharge: str = "lazy",
+    backend: str = "dpll",
 ) -> str:
     """The *semantic environment* a verdict (and its counters) depends on.
 
     A store entry is only reusable under the exact same discharge semantics:
     the library's logical surface plus every checker/solver knob that steers
-    the alphabet transformation or the inclusion search.  Worker count and
-    shard assignment are deliberately absent — the determinism contract says
-    they never change any obligation-derived counter.
+    the alphabet transformation or the inclusion search.  The solver backend
+    participates too: verdicts agree across backends, but the recorded
+    per-obligation counters (#SAT, #Confl) are backend-internal, so a warm
+    start under ``cdcl`` must never replay numbers a ``dpll`` discharge
+    produced.  Worker count and shard assignment are deliberately absent —
+    the determinism contract says they never change any obligation-derived
+    counter.
     """
     return _digest(
         FINGERPRINT_VERSION,
@@ -248,4 +253,5 @@ def environment_fingerprint(
         repr(resolve_max_literals(max_literals, strategy, filter_unsat_minterms)),
         strategy,
         discharge,
+        backend,
     )

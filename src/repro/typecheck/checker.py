@@ -74,6 +74,10 @@ def _default_workers() -> int:
     return int(os.environ.get("REPRO_WORKERS") or "1")
 
 
+def _default_backend() -> str:
+    return os.environ.get("REPRO_BACKEND") or "dpll"
+
+
 @dataclass
 class CheckerConfig:
     """Tunable knobs (mostly used by the ablation benchmarks)."""
@@ -90,6 +94,12 @@ class CheckerConfig:
     #: or "compiled" (materialise both DFAs — the reference oracle).
     #: Overridable via the REPRO_DISCHARGE environment variable (CI matrix).
     discharge: str = field(default_factory=_default_discharge)
+    #: which SAT core answers the lazy SMT loop's queries: "dpll" (the
+    #: original reference), "cdcl" (clause learning + VSIDS + restarts) or
+    #: "z3" (external, when installed).  Overridable via REPRO_BACKEND.
+    #: Verdicts and every obligation-derived counter are backend-independent;
+    #: only #SAT/#Confl-style solver internals may differ.
+    backend: str = field(default_factory=_default_backend)
     #: process-pool width for obligation discharge (1 = in-process serial).
     #: Overridable via the REPRO_WORKERS environment variable (CI matrix).
     workers: int = field(default_factory=_default_workers)
@@ -126,7 +136,7 @@ class Checker:
         self._library_digest = (
             library_digest(operators, axioms, self.constants) if store is not None else ""
         )
-        self.solver = smt.Solver(axioms=list(axioms))
+        self.solver = smt.Solver(axioms=list(axioms), backend=self.config.backend)
         # Inline queries that steer the walk (HAT subtyping, ghost abduction)
         # still go through this shared checker; deferred leaf obligations are
         # discharged by the obligation engine below.
@@ -148,6 +158,7 @@ class Checker:
             max_literals=self.config.max_literals,
             strategy=self.config.enumeration_strategy,
             discharge=self.config.discharge,
+            backend=self.config.backend,
             workers=self.config.workers,
             # per-obligation solvers read the inline solver's caches (read-only)
             warm_solver=self.solver,
@@ -266,6 +277,7 @@ class Checker:
             obligations=emitted,
             smt_queries=solver_after.queries - solver_before.queries,
             smt_cache_hits=solver_after.cache_hits - solver_before.cache_hits,
+            sat_conflicts=solver_after.sat_conflicts - solver_before.sat_conflicts,
             fa_inclusion_checks=inclusion_after.fa_inclusion_checks - inclusion_before.fa_inclusion_checks,
             dfa_cache_hits=inclusion_after.dfa_cache_hits - inclusion_before.dfa_cache_hits,
             prod_states=inclusion_after.prod_states - inclusion_before.prod_states,

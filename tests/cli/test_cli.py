@@ -98,6 +98,56 @@ def test_knob_flags_reach_the_checker_config(monkeypatch):
     assert config.enumeration_strategy == "exhaustive"
 
 
+# -- solver backends ---------------------------------------------------------------
+
+
+def test_backend_flag_runs_the_check(capsys):
+    assert cli_main(["check", "Set/KVStore", "--backend", "cdcl"]) == 0
+    out = capsys.readouterr().out
+    assert "all verified = True" in out
+
+
+def test_backend_flag_reaches_the_checker_config(monkeypatch):
+    captured = {}
+    from repro.suite.benchmark import AdtBenchmark
+
+    original = AdtBenchmark.make_checker
+
+    def spy(self, config=None, *, store=None):
+        captured["config"] = config
+        return original(self, config, store=store)
+
+    monkeypatch.setattr(AdtBenchmark, "make_checker", spy)
+    assert cli_main(["check", "Set/KVStore", "--backend", "cdcl"]) == 0
+    assert captured["config"].backend == "cdcl"
+
+
+def test_unknown_backend_exits_two():
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["check", "Set/KVStore", "--backend", "telepathy"])
+    assert excinfo.value.code == 2
+
+
+def test_bad_repro_backend_env_exits_two(monkeypatch, capsys):
+    """REPRO_BACKEND mirrors --backend, so a bad value must get the same
+    clean exit-2 diagnostics instead of a ValueError traceback."""
+    monkeypatch.setenv("REPRO_BACKEND", "telepathy")
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["check", "Set/KVStore"])
+    assert excinfo.value.code == 2
+    assert "unknown solver backend" in capsys.readouterr().err
+
+
+def test_unavailable_backend_exits_two(monkeypatch, capsys):
+    from repro.smt import backends
+
+    monkeypatch.setattr(backends, "backend_available", lambda name: name != "z3")
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["check", "Set/KVStore", "--backend", "z3"])
+    assert excinfo.value.code == 2
+    assert "not available" in capsys.readouterr().err
+
+
 # -- JSON output -------------------------------------------------------------------
 
 

@@ -13,8 +13,8 @@ from repro.suite.set_kvstore import set_kvstore
 from repro.typecheck.checker import CheckerConfig
 
 
-def _counter_tables(bench, workers: int):
-    checker = bench.make_checker(CheckerConfig(workers=workers))
+def _counter_tables(bench, workers: int, backend: str = "dpll"):
+    checker = bench.make_checker(CheckerConfig(workers=workers, backend=backend))
     stats = bench.verify_all(checker)
     rows = [result.stats.counter_row() for result in stats.method_results]
     verdicts = [
@@ -31,6 +31,20 @@ def test_workers4_matches_workers1_byte_identical():
     assert checker.obligation_engine.stats.parallel_batches > 0, (
         "the pool must actually have been exercised"
     )
+    assert parallel_rows == serial_rows
+    assert parallel_verdicts == serial_verdicts
+
+
+def test_workers4_matches_workers1_under_cdcl():
+    """Hermetic discharge keeps counters worker-independent per backend —
+    including the backend-sensitive ones (#SAT/#Confl), which are pure in
+    (backend, warm snapshot, obligation)."""
+    bench = set_kvstore()
+    serial_rows, serial_verdicts, _ = _counter_tables(bench, workers=1, backend="cdcl")
+    parallel_rows, parallel_verdicts, checker = _counter_tables(
+        bench, workers=4, backend="cdcl"
+    )
+    assert checker.obligation_engine.stats.parallel_batches > 0
     assert parallel_rows == serial_rows
     assert parallel_verdicts == serial_verdicts
 
