@@ -25,6 +25,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from .engine.scheduler import SCHEDULE_MODES
 from .evaluation import render_all, report_json, run_evaluation, table1, table2, table3, table4
 from .smt.backends import known_backends, resolve_backend
 from .store.obligation_store import ObligationStore
@@ -63,6 +64,23 @@ def _add_checker_flags(parser: argparse.ArgumentParser) -> None:
         choices=known_backends(),
         help="SAT core behind the lazy SMT loop (default: REPRO_BACKEND or dpll)",
     )
+    group.add_argument(
+        "--schedule",
+        choices=SCHEDULE_MODES,
+        help=(
+            "discharge-order policy: auto = historical store cost (LPT under "
+            "a pool, cheapest-first serially), falling back to the syntactic "
+            "estimate (default: REPRO_SCHEDULE or auto)"
+        ),
+    )
+    group.add_argument(
+        "--no-memo",
+        action="store_true",
+        help=(
+            "disable cross-obligation alphabet/derivative reuse (ablation; "
+            "counters and tables are identical either way, only time moves)"
+        ),
+    )
 
 
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
@@ -94,15 +112,27 @@ def _config_from_args(args: argparse.Namespace) -> CheckerConfig:
         kwargs["enumeration_strategy"] = args.strategy
     if getattr(args, "backend", None) is not None:
         kwargs["backend"] = args.backend
+    if getattr(args, "schedule", None) is not None:
+        kwargs["schedule"] = args.schedule
+    if getattr(args, "no_memo", False):
+        kwargs["cross_obligation_memo"] = False
     config = CheckerConfig(**kwargs)
-    # Validate the *resolved* backend, wherever it came from: argparse already
-    # rejects unknown --backend values, but REPRO_BACKEND arrives unchecked
-    # and must fail with the same clean exit-2 diagnostics, not a traceback.
+    # Validate the *resolved* backend and schedule, wherever they came from:
+    # argparse already rejects unknown flag values, but REPRO_BACKEND /
+    # REPRO_SCHEDULE arrive unchecked and must fail with the same clean
+    # exit-2 diagnostics, not a traceback.
     try:
         resolve_backend(config.backend)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
+    if config.schedule not in SCHEDULE_MODES:
+        print(
+            f"error: unknown schedule mode {config.schedule!r}; "
+            f"expected one of {SCHEDULE_MODES}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     return config
 
 
@@ -115,6 +145,17 @@ def _open_store(args: argparse.Namespace) -> Optional[ObligationStore]:
     if not wants_store:
         return None
     return ObligationStore(getattr(args, "store", None) or DEFAULT_STORE_PATH)
+
+
+def _finish_store(store: Optional[ObligationStore]) -> None:
+    """Close the session: flush pending entries and log the run's references.
+
+    The run log is what ``store gc --keep-last N`` keeps entries alive by —
+    every CLI invocation that touched the store counts as one run.
+    """
+    if store is not None:
+        store.flush()
+        store.commit_run()
 
 
 def _print_store_report(store: ObligationStore, explain: bool) -> None:
@@ -163,6 +204,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "VERIFIED" if result.verified else f"REJECTED: {result.error}"
         print(f"{benchmark.key}.{args.method}: {status}")
         print(f"  {result.stats.as_row()}")
+        _finish_store(store)
         if store is not None:
             _print_store_report(store, args.explain)
         return 0 if result.verified else 1
@@ -171,6 +213,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "ok" if result.verified else f"FAILED ({result.error})"
         print(f"  {result.method:>20}: {status}")
     print(f"{benchmark.key}: all verified = {stats.all_verified}")
+    _finish_store(store)
     if store is not None:
         _print_store_report(store, args.explain)
     return 0 if stats.all_verified else 1
@@ -187,6 +230,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
     else:
         report = run_evaluation(include_slow=not args.fast, config=config, store=store)
+    _finish_store(store)
     ok = report.all_verified and report.all_negatives_rejected
     if args.json:
         print(json.dumps(report_json(report, store=store), indent=2, sort_keys=True))
@@ -213,6 +257,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     report = run_evaluation(
         include_slow=not args.fast, config=_config_from_args(args), store=store
     )
+    _finish_store(store)
     if args.json:
         from .evaluation.tables import TABLE3_ADTS, TABLE4_ADTS
 
@@ -228,6 +273,53 @@ def _cmd_table(args: argparse.Namespace) -> int:
     print(renderer(report))
     if store is not None:
         _print_store_report(store, args.explain)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import compare_payloads, load_payload, run_bench, summarize
+
+    config = _config_from_args(args)
+    try:
+        payload = run_bench(
+            include_slow=args.full,
+            runs=1 if args.quick else args.runs,
+            config=config,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    print(summarize(payload))
+    if args.baseline:
+        try:
+            baseline = load_payload(args.baseline)
+            ok, messages = compare_payloads(payload, baseline, tolerance=args.tolerance)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot read baseline {args.baseline!r}: {exc!r}", file=sys.stderr)
+            return 2
+        for message in messages:
+            print(message)
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = ObligationStore(args.store or DEFAULT_STORE_PATH)
+    try:
+        dropped = store.gc(args.keep_last)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"store gc: dropped {dropped} entr{'y' if dropped == 1 else 'ies'}, "
+        f"{len(store)} kept (referenced by the last {args.keep_last} runs)"
+    )
     return 0
 
 
@@ -269,6 +361,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checker_flags(evaluate)
     _add_store_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the tracked benchmark harness (cold + warm fast corpus)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="one timing run per phase (CI smoke mode)"
+    )
+    bench.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing runs per phase; the best run is reported (default: 3)",
+    )
+    bench.add_argument(
+        "--full", action="store_true", help="benchmark the full corpus, slow rows included"
+    )
+    bench.add_argument(
+        "--output", metavar="PATH", help="write the JSON report to PATH (e.g. BENCH_PR5.json)"
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a recorded report; exit 1 on cold wall-time regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="allowed relative cold wall-time regression vs the baseline (default: 0.2)",
+    )
+    _add_checker_flags(bench)
+    bench.set_defaults(func=_cmd_bench)
+
+    store = sub.add_parser("store", help="manage a persistent obligation store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    gc = store_sub.add_parser(
+        "gc", help="expire entries unreferenced by the last N runs"
+    )
+    gc.add_argument(
+        "--keep-last",
+        type=int,
+        required=True,
+        metavar="N",
+        help="runs whose referenced entries survive the sweep",
+    )
+    gc.add_argument(
+        "--store",
+        metavar="PATH",
+        help=f"store directory (default: {DEFAULT_STORE_PATH})",
+    )
+    gc.set_defaults(func=_cmd_store_gc)
 
     table = sub.add_parser("table", help="print one of the paper's tables")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))

@@ -18,7 +18,7 @@ and cross-method memo key on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from ..sfa import symbolic
 from ..sfa.symbolic import Sfa
@@ -140,16 +140,42 @@ class ObligationSet:
                 entry[1].append(obligation)
         return list(groups.values())
 
-    def schedule(self) -> list[tuple[Obligation, list[Obligation]]]:
-        """Deduped obligations, cheapest first (emission order breaks ties).
+    def schedule(
+        self,
+        *,
+        cost_of: Optional[Callable[["Obligation"], Optional[float]]] = None,
+        longest_first: bool = False,
+    ) -> list[tuple[Obligation, list[Obligation]]]:
+        """Deduped obligations in discharge order (emission order breaks ties).
 
-        Cheap obligations surface counterexamples early, and under a process
-        pool the expensive ones no longer serialise the tail of the batch.
+        ``cost_of`` supplies a *historical* cost in seconds for obligations
+        the persistent store has discharged before (under any environment);
+        obligations it returns ``None`` for fall back to the syntactic
+        :meth:`Obligation.cost_estimate`.  The two populations sort
+        separately (measured costs first — they are informative, estimates
+        are a guess) but under the same policy:
+
+        * ``longest_first=False`` (serial discharge) — cheapest first, so
+          cheap obligations surface counterexamples early;
+        * ``longest_first=True`` (process pool) — longest processing time
+          first, the classic LPT heuristic that cuts the pool's makespan by
+          never leaving the most expensive obligation for last.
+
+        Order is advisory only: discharge is hermetic and per-obligation
+        counters are pure functions of the obligation, so *any* order
+        produces the same verdicts and the same deterministic tables — the
+        scheduling-determinism suite locks that in.
         """
-        return sorted(
-            self.deduped(),
-            key=lambda entry: (entry[0].cost_estimate(), entry[0].index),
-        )
+        sign = -1.0 if longest_first else 1.0
+
+        def key(entry: tuple[Obligation, list[Obligation]]) -> tuple:
+            representative = entry[0]
+            cost = cost_of(representative) if cost_of is not None else None
+            if cost is not None:
+                return (0, sign * cost, representative.index)
+            return (1, sign * representative.cost_estimate(), representative.index)
+
+        return sorted(self.deduped(), key=key)
 
 
 @dataclass

@@ -34,12 +34,13 @@ travel back as plain picklable dicts.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from .. import smt
-from ..sfa.alphabet import AlphabetError
-from ..sfa.derivatives import CompilationError
+from ..sfa.alphabet import AlphabetError, AlphabetMemo
+from ..sfa.derivatives import CompilationError, DerivativeCache
 from ..sfa.inclusion import InclusionChecker, InclusionStats
 from ..smt.solver import SolverError
 from ..sfa.signatures import OperatorRegistry
@@ -48,6 +49,11 @@ from ..statsutil import MergeableStats
 from ..store.fingerprint import environment_fingerprint, obligation_digest, shard_of
 from ..store.obligation_store import ObligationStore, StoreContext, StoreEntry
 from .obligations import DischargeOutcome, Obligation, ObligationSet
+
+#: The supported values of ``ObligationEngine(..., schedule=...)``:
+#: ``auto`` picks the cost model with LPT under a pool and cheapest-first
+#: serially; the explicit modes exist for ablations and the determinism suite.
+SCHEDULE_MODES = ("auto", "syntactic", "cost", "lpt")
 
 
 @dataclass
@@ -66,6 +72,9 @@ class EngineStats(MergeableStats):
     store_misses: int = 0
     #: representatives assigned to another shard (not discharged here)
     shard_skipped: int = 0
+    #: representatives ordered by a recorded store cost (vs. the syntactic
+    #: estimate fallback) — order is advisory, so this is bookkeeping only
+    cost_hints_used: int = 0
     batches: int = 0
     parallel_batches: int = 0
 
@@ -93,6 +102,15 @@ class DischargeParams:
     #: which SAT core answers the per-obligation solver's queries
     backend: str = "dpll"
     warm_solver: Optional[smt.Solver] = None
+    #: shared cross-obligation alphabet memo: hermetic constructions with a
+    #: recorded counter bill, replayed identically on every hit.  Serially
+    #: the engine's memo grows across batches; forked workers read it through
+    #: copy-on-write and their additions die with them — either way every
+    #: counter stays a pure function of the obligation.  Never pickled.
+    alphabet_memo: Optional[AlphabetMemo] = None
+    #: shared cross-obligation memo for lazy derivative steps (pure reuse:
+    #: it can change wall-clock time only, never a verdict or a counter)
+    derivative_cache: Optional[DerivativeCache] = None
 
 
 def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dict:
@@ -107,6 +125,7 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
     the reported query counts, so any sibling-dependent sharing would leak
     scheduling order into the tables.
     """
+    start = time.perf_counter()
     solver = smt.Solver(
         axioms=list(params.axioms),
         warm_from=params.warm_solver,
@@ -120,6 +139,8 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
         max_literals=params.max_literals,
         strategy=params.strategy,
         discharge=params.discharge,
+        alphabet_memo=params.alphabet_memo,
+        derivative_cache=params.derivative_cache,
     )
     error: Optional[str] = None
     try:
@@ -139,6 +160,9 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
         "error": error,
         "inclusion": checker.stats.as_dict(),
         "solver": solver.stats.as_dict(),
+        # the measured discharge cost: the store keeps it as an advisory
+        # scheduling hint, outside every fingerprint and deterministic table
+        "wall": time.perf_counter() - start,
     }
 
 
@@ -176,7 +200,15 @@ class ObligationEngine:
         warm_solver: Optional[smt.Solver] = None,
         store: Optional[ObligationStore] = None,
         shard: Optional[tuple[int, int]] = None,
+        schedule: str = "auto",
+        alphabet_memo: Optional[AlphabetMemo] = None,
+        derivative_cache: Optional[DerivativeCache] = None,
+        library: Optional[str] = None,
     ) -> None:
+        if schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule mode {schedule!r}; expected one of {SCHEDULE_MODES}"
+            )
         self.params = DischargeParams(
             operators=operators,
             axioms=tuple(axioms),
@@ -187,16 +219,20 @@ class ObligationEngine:
             discharge=discharge,
             backend=backend,
             warm_solver=warm_solver,
+            alphabet_memo=alphabet_memo,
+            derivative_cache=derivative_cache,
         )
         self.workers = workers
         self.store = store
+        self.schedule = schedule
         if shard is not None:
             index, count = shard
             if not (count >= 1 and 0 <= index < count):
                 raise ValueError(f"invalid shard assignment {shard!r}")
         self.shard = shard
         #: the semantic-environment key store entries are read/written under;
-        #: worker count and shard assignment deliberately don't participate
+        #: worker count, shard assignment, scheduling order and the memo
+        #: layers deliberately don't participate (none changes a counter)
         self._env_fp = (
             environment_fingerprint(
                 operators,
@@ -207,6 +243,7 @@ class ObligationEngine:
                 strategy=strategy,
                 discharge=discharge,
                 backend=backend,
+                library=library,
             )
             if store is not None
             else None
@@ -216,6 +253,33 @@ class ObligationEngine:
         #: bounded like every other cache in the pipeline
         self.max_memo_entries = 100_000
         self._memo: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
+
+    # ------------------------------------------------------------------
+    def _schedule(self, obligation_set: ObligationSet):
+        """Order the deduped batch under the configured scheduling policy.
+
+        ``auto`` (the default) orders by *historical* discharge cost when the
+        store has seen an obligation before — longest-processing-time-first
+        under a process pool (cuts the makespan), cheapest-first serially
+        (keeps first-failure latency low) — and falls back to the syntactic
+        ``cost_estimate()`` for obligations no store entry has ever costed.
+        Order is advisory: discharge is hermetic, so no policy can change a
+        verdict or a deterministic table (locked in by the scheduling-order
+        determinism suite).
+        """
+        mode = self.schedule
+        longest_first = mode == "lpt" or (mode == "auto" and self.workers > 1)
+        cost_of: Optional[Callable[[Obligation], Optional[float]]] = None
+        if mode != "syntactic" and self.store is not None:
+            store = self.store
+
+            def cost_of(representative: Obligation) -> Optional[float]:
+                hint = store.cost_hint(obligation_digest(representative))
+                if hint is not None:
+                    self.stats.cost_hints_used += 1
+                return hint
+
+        return obligation_set.schedule(cost_of=cost_of, longest_first=longest_first)
 
     # ------------------------------------------------------------------
     def discharge_all(
@@ -238,7 +302,7 @@ class ObligationEngine:
         """
         self.stats.batches += 1
         self.stats.obligations_emitted += len(obligation_set)
-        scheduled = obligation_set.schedule()
+        scheduled = self._schedule(obligation_set)
 
         #: this batch's verdicts: fingerprint -> (included, counterexample, error)
         verdicts: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
@@ -334,6 +398,11 @@ class ObligationEngine:
                         library=store_context.library_digest,
                         kind=representative.kind,
                         provenance=representative.provenance,
+                        cost={
+                            "wall": round(result.get("wall", 0.0), 6),
+                            "queries": result["solver"].get("queries", 0),
+                            "prod_states": result["inclusion"].get("prod_states", 0),
+                        },
                     )
                 )
 

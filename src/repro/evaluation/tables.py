@@ -37,6 +37,7 @@ TABLE1_COLUMNS = [
     "#Confl",
     "#FA⊆",
     "#FAcache",
+    "#Alph",
     "#Prod",
     "#Store",
     "avg. sFA",
@@ -141,6 +142,7 @@ TABLE34_COLUMNS = [
     "#Confl",
     "#Inc",
     "#FAcache",
+    "#Alph",
     "#Prod",
     "sFAbuilt",
     "#Store",

@@ -1,0 +1,5 @@
+"""The tracked performance harness behind ``repro bench``."""
+
+from .bench import compare_payloads, load_payload, run_bench, summarize
+
+__all__ = ["compare_payloads", "load_payload", "run_bench", "summarize"]

@@ -1,0 +1,220 @@
+"""The tracked benchmark harness (``repro bench``).
+
+Runs the evaluation corpus twice — **cold** (no store, every obligation
+discharged) and **warm** (a second run answered from a store the cold run
+populated) — and reports wall-clock times next to the full deterministic
+counter set of Tables 1/3/4.  The JSON payload is what gets committed as
+``BENCH_PR<k>.json``: the counters give every later session an exact
+behavioural fingerprint to diff against, the wall times give CI a regression
+tripwire (``compare_payloads`` applies the tolerance), and the ``baseline``
+section carries the numbers of the previous PR so "did this PR actually get
+faster?" stays answerable from the repository alone.
+
+Wall-clock comparisons are only meaningful on comparable hardware; the
+committed payload records the machine it was measured on, and the CI
+tolerance exists precisely because runners drift.  The *counters*, by
+contrast, must reproduce everywhere byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..evaluation.runner import EvaluationReport, run_evaluation
+from ..evaluation.tables import table1, table3, table4
+from ..store.obligation_store import ObligationStore
+from ..typecheck.checker import CheckerConfig
+
+#: Payload layout version for BENCH_*.json files.
+BENCH_SCHEMA = 1
+
+#: The per-method counters aggregated into the payload (sums over the corpus).
+_COUNTER_FIELDS = (
+    "obligations",
+    "smt_queries",
+    "smt_cache_hits",
+    "sat_conflicts",
+    "fa_inclusion_checks",
+    "dfa_cache_hits",
+    "alphabet_builds",
+    "alphabet_memo_hits",
+    "prod_states",
+    "states_built",
+    "store_hits",
+)
+
+
+def _aggregate_counters(report: EvaluationReport) -> dict:
+    totals = {field: 0 for field in _COUNTER_FIELDS}
+    for stats in report.adt_stats:
+        for result in stats.method_results:
+            for field in _COUNTER_FIELDS:
+                totals[field] += getattr(result.stats, field)
+    return totals
+
+
+def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: list) -> dict:
+    return {
+        "wall_seconds": round(wall_seconds, 4),
+        "wall_seconds_all_runs": [round(w, 4) for w in all_walls],
+        "all_verified": report.all_verified,
+        "all_negatives_rejected": report.all_negatives_rejected,
+        "per_adt_wall_seconds": {
+            f"{stats.adt}/{stats.library}": round(stats.total_time_seconds, 4)
+            for stats in report.adt_stats
+        },
+        "counters": _aggregate_counters(report),
+        "tables_deterministic": {
+            "table1": table1(report, deterministic=True),
+            "table3": table3(report, deterministic=True),
+            "table4": table4(report, deterministic=True),
+        },
+    }
+
+
+def run_bench(
+    *,
+    include_slow: bool = False,
+    runs: int = 3,
+    config: Optional[CheckerConfig] = None,
+    store_path: Optional[str] = None,
+) -> dict:
+    """Run the corpus cold and warm; return the BENCH payload.
+
+    ``runs`` cold runs are timed and the best (minimum) wall time reported —
+    the usual benchmarking convention, since noise only ever adds time.  The
+    warm phase reuses a store populated by one extra cold pass (kept out of
+    the timings) so its wall time measures pure store-replay speed.
+    """
+    if runs < 1:
+        raise ValueError("bench requires runs >= 1")
+    config = config or CheckerConfig()
+
+    cold_walls: list[float] = []
+    cold_report: Optional[EvaluationReport] = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        report = run_evaluation(include_slow=include_slow, config=config)
+        wall = time.perf_counter() - start
+        cold_walls.append(wall)
+        if cold_report is None or wall <= min(cold_walls):
+            cold_report = report
+
+    with tempfile.TemporaryDirectory(prefix="pymarple-bench-") as tmp:
+        store_dir = store_path or str(Path(tmp) / "store")
+        store = ObligationStore(store_dir)
+        run_evaluation(include_slow=include_slow, config=config, store=store)
+        store.flush()
+        store.commit_run()
+
+        warm_walls: list[float] = []
+        warm_report: Optional[EvaluationReport] = None
+        for _ in range(runs):
+            warm_store = ObligationStore(store_dir)
+            start = time.perf_counter()
+            report = run_evaluation(
+                include_slow=include_slow, config=config, store=warm_store
+            )
+            wall = time.perf_counter() - start
+            warm_walls.append(wall)
+            if warm_report is None or wall <= min(warm_walls):
+                warm_report = report
+            warm_store.flush()
+            warm_store.commit_run()
+
+    assert cold_report is not None and warm_report is not None
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "corpus": "full" if include_slow else "fast",
+        "runs": runs,
+        "machine": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "backend": config.backend,
+            "discharge": config.discharge,
+            "strategy": config.enumeration_strategy,
+            "workers": config.workers,
+            "schedule": config.schedule,
+            "memo": config.cross_obligation_memo,
+        },
+        "cold": _phase_payload(cold_report, min(cold_walls), cold_walls),
+        "warm": _phase_payload(warm_report, min(warm_walls), warm_walls),
+    }
+    return payload
+
+
+def load_payload(path) -> dict:
+    """Read a BENCH payload; raises ValueError on a malformed file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "cold" not in payload:
+        raise ValueError("not a BENCH payload (missing the 'cold' phase)")
+    return payload
+
+
+def compare_payloads(
+    current: dict, baseline: dict, *, tolerance: float = 0.2
+) -> tuple[bool, list[str]]:
+    """Diff a fresh payload against a committed baseline.
+
+    The gate is the **cold** wall time: a regression beyond ``tolerance``
+    (relative) fails.  Warm-time drift and counter changes are reported but
+    advisory — counters legitimately move when the pipeline changes, and the
+    committed payload is refreshed in the same commit that moves them.
+    """
+    messages: list[str] = []
+    ok = True
+    base_cold = float(baseline["cold"]["wall_seconds"])
+    cur_cold = float(current["cold"]["wall_seconds"])
+    budget = base_cold * (1.0 + tolerance)
+    delta = (cur_cold - base_cold) / base_cold if base_cold > 0 else 0.0
+    verdict = "ok" if cur_cold <= budget else "REGRESSION"
+    messages.append(
+        f"cold wall: {cur_cold:.3f}s vs baseline {base_cold:.3f}s "
+        f"({delta:+.1%}, tolerance {tolerance:.0%}) — {verdict}"
+    )
+    if cur_cold > budget:
+        ok = False
+    base_warm = baseline.get("warm", {}).get("wall_seconds")
+    cur_warm = current.get("warm", {}).get("wall_seconds")
+    if base_warm is not None and cur_warm is not None:
+        messages.append(
+            f"warm wall: {float(cur_warm):.3f}s vs baseline {float(base_warm):.3f}s (advisory)"
+        )
+    base_counters = baseline["cold"].get("counters", {})
+    cur_counters = current["cold"].get("counters", {})
+    moved = {
+        key: (base_counters[key], cur_counters[key])
+        for key in sorted(set(base_counters) & set(cur_counters))
+        if base_counters[key] != cur_counters[key]
+    }
+    if moved:
+        rendered = ", ".join(f"{k}: {a} -> {b}" for k, (a, b) in moved.items())
+        messages.append(f"counters moved (advisory): {rendered}")
+    else:
+        messages.append("counters: identical to baseline")
+    return ok, messages
+
+
+def summarize(payload: dict) -> str:
+    """A short human rendering of one payload (printed by ``repro bench``)."""
+    cold, warm = payload["cold"], payload["warm"]
+    counters = cold["counters"]
+    lines = [
+        f"bench ({payload['corpus']} corpus, best of {payload['runs']}):",
+        f"  cold: {cold['wall_seconds']:.3f}s  "
+        f"(verified={cold['all_verified']}, negatives rejected={cold['all_negatives_rejected']})",
+        f"  warm: {warm['wall_seconds']:.3f}s  (store hits={warm['counters']['store_hits']})",
+        f"  obligations={counters['obligations']}  #SAT={counters['smt_queries']}  "
+        f"alphabet builds={counters['alphabet_builds']}  "
+        f"memo hits={counters['alphabet_memo_hits']}  prod states={counters['prod_states']}",
+    ]
+    return "\n".join(lines)

@@ -41,6 +41,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from .. import smt
 from ..smt.terms import Term
+from ..statsutil import MergeableStats
 from . import symbolic
 from .signatures import EventSignature, OperatorRegistry
 from .symbolic import Sfa
@@ -81,6 +82,24 @@ class LiteralSets:
 
     def total(self) -> int:
         return len(self.context_literals) + sum(len(v) for v in self.event_literals.values())
+
+    def fingerprint(self) -> tuple:
+        """A hashable content address for the literal sets.
+
+        Terms are interned, so ``term_id`` identifies each literal globally;
+        two groups of automata that mention the same qualifier literals get
+        the same fingerprint even when the automata themselves differ.  This
+        is what the cross-obligation :class:`AlphabetMemo` keys on: the
+        alphabets are a pure function of (hypotheses, literal sets) — the
+        formulas only matter through the literals they contribute.
+        """
+        return (
+            tuple(lit.term_id for lit in self.context_literals),
+            tuple(
+                (name, tuple(lit.term_id for lit in lits))
+                for name, lits in sorted(self.event_literals.items())
+            ),
+        )
 
 
 def collect_literals(
@@ -242,8 +261,13 @@ class Alphabet:
 
 
 @dataclass
-class AlphabetStats:
-    """Bookkeeping for the evaluation tables."""
+class AlphabetStats(MergeableStats):
+    """Bookkeeping for the evaluation tables.
+
+    A :class:`~repro.statsutil.MergeableStats` so the cross-obligation
+    :class:`AlphabetMemo` can record the counters of one construction and
+    replay them verbatim on every later hit.
+    """
 
     context_cases: int = 0
     minterm_candidates: int = 0
@@ -334,9 +358,42 @@ def build_alphabets(
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown enumeration strategy {strategy!r}; expected one of {STRATEGIES}")
+    literal_sets = collect_literals(formulas, operators, extra_context_literals)
+    return enumerate_alphabets(
+        solver,
+        hypotheses,
+        literal_sets,
+        operators,
+        max_literals=max_literals,
+        filter_unsat=filter_unsat,
+        strategy=strategy,
+        stats=stats,
+    )
+
+
+def enumerate_alphabets(
+    solver: smt.Solver,
+    hypotheses: Sequence[Term],
+    literal_sets: LiteralSets,
+    operators: OperatorRegistry,
+    *,
+    max_literals: Optional[int] = None,
+    filter_unsat: bool = True,
+    strategy: str = "guided",
+    stats: Optional[AlphabetStats] = None,
+) -> list[Alphabet]:
+    """The enumeration core of :func:`build_alphabets`, from collected literals.
+
+    Split out so the cross-obligation :class:`AlphabetMemo` can compute the
+    (cheap, purely syntactic) literal sets first, key its lookup on them, and
+    only run the solver-driven enumeration below on a miss.  The resulting
+    alphabets — and every counter this function touches — are a pure function
+    of ``(hypotheses, literal_sets, operators, strategy, budget)`` and the
+    solver's axiom set/backend; nothing here depends on the automata the
+    literals came from.
+    """
     max_literals = resolve_max_literals(max_literals, strategy, filter_unsat)
     stats = stats if stats is not None else AlphabetStats()
-    literal_sets = collect_literals(formulas, operators, extra_context_literals)
     if len(literal_sets.context_literals) > max_literals:
         raise AlphabetError(
             f"{len(literal_sets.context_literals)} context literals exceed the "
@@ -398,3 +455,149 @@ def build_alphabets(
         alphabets.append(Alphabet(context_case=context_case, characters=tuple(characters)))
 
     return alphabets
+
+
+# ---------------------------------------------------------------------------
+# Cross-obligation partition reuse
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AlphabetBuild:
+    """One memoised alphabet construction: the result plus its counter bill."""
+
+    alphabets: list[Alphabet]
+    alphabet_stats: AlphabetStats
+    solver_stats: "smt.SolverStats"
+
+
+class AlphabetMemo:
+    """Content-addressed reuse of alphabet/minterm constructions.
+
+    Obligations of one method — and often of one whole benchmark — keep
+    mentioning the same qualifier literals: the representation invariant sits
+    on one side of every inclusion, and consecutive program points differ
+    only in the context automaton's *structure*, not its atoms.  The memo
+    keys on ``(hypotheses, literal sets)`` — the exact inputs the enumeration
+    is a function of — so distinct obligations that share qualifiers share
+    one minterm enumeration.
+
+    **Determinism.**  Every construction runs on a *fresh* solver (this
+    memo's axiom set and backend, no warm caches, no inherited lemmas), which
+    makes the construction — and every counter it produces — a pure function
+    of the key.  The memo records that counter bill (:class:`AlphabetStats`
+    plus the solver's :class:`~repro.smt.solver.SolverStats` delta) and
+    replays it verbatim on a hit, so a memo hit and a rebuild contribute
+    byte-identical numbers to the evaluation tables.  That is what keeps the
+    deterministic table renderings invariant across memo on/off, scheduler
+    orderings and worker counts; ``enabled=False`` only disables the *reuse*
+    (every call still builds hermetically), it never changes a counter.
+
+    The engine shares one memo across the obligations of a run: serially the
+    dictionary simply grows; under a process pool the forked workers inherit
+    the parent's entries through copy-on-write memory (like the ``warm_from``
+    solver views) and their own additions die with them.
+    """
+
+    def __init__(
+        self,
+        axioms: Sequence = (),
+        *,
+        backend: Optional[str] = None,
+        enabled: bool = True,
+        max_entries: int = 2048,
+    ) -> None:
+        self.axioms = tuple(axioms)
+        self.backend = backend
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.builds = 0
+        self.hits = 0
+        self.evictions = 0
+        self._entries: dict[tuple, AlphabetBuild] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(
+        self,
+        hypotheses: Sequence[Term],
+        literal_sets: LiteralSets,
+        *,
+        max_literals: Optional[int],
+        filter_unsat: bool,
+        strategy: str,
+    ) -> tuple:
+        return (
+            tuple(sorted(h.term_id for h in hypotheses)),
+            literal_sets.fingerprint(),
+            resolve_max_literals(max_literals, strategy, filter_unsat),
+            filter_unsat,
+            strategy,
+        )
+
+    def alphabets_for(
+        self,
+        hypotheses: Sequence[Term],
+        formulas: Sequence[Sfa],
+        operators: OperatorRegistry,
+        *,
+        extra_context_literals: Iterable[Term] = (),
+        max_literals: Optional[int] = None,
+        filter_unsat: bool = True,
+        strategy: str = "guided",
+        stats: Optional[AlphabetStats] = None,
+        solver_stats: Optional["smt.SolverStats"] = None,
+    ) -> tuple[list[Alphabet], bool]:
+        """The alphabets for this literal-set key; builds hermetically on a miss.
+
+        Returns ``(alphabets, built)`` where ``built`` says whether this call
+        ran the enumeration (as opposed to replaying a recorded one).  The
+        recorded counter bill is merged into ``stats``/``solver_stats``
+        either way, and is identical either way.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown enumeration strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        literal_sets = collect_literals(formulas, operators, extra_context_literals)
+        key = self._key(
+            hypotheses,
+            literal_sets,
+            max_literals=max_literals,
+            filter_unsat=filter_unsat,
+            strategy=strategy,
+        )
+        entry = self._entries.get(key)
+        built = entry is None
+        if entry is None:
+            solver = smt.Solver(axioms=list(self.axioms), backend=self.backend)
+            build_stats = AlphabetStats()
+            alphabets = enumerate_alphabets(
+                solver,
+                hypotheses,
+                literal_sets,
+                operators,
+                max_literals=max_literals,
+                filter_unsat=filter_unsat,
+                strategy=strategy,
+                stats=build_stats,
+            )
+            entry = AlphabetBuild(
+                alphabets=alphabets,
+                alphabet_stats=build_stats,
+                solver_stats=solver.stats,
+            )
+            self.builds += 1
+            if self.enabled:
+                if len(self._entries) >= self.max_entries:
+                    self._entries.clear()
+                    self.evictions += 1
+                self._entries[key] = entry
+        else:
+            self.hits += 1
+        if stats is not None:
+            stats.merge(entry.alphabet_stats)
+        if solver_stats is not None:
+            solver_stats.merge(entry.solver_stats)
+        return entry.alphabets, built

@@ -43,12 +43,13 @@ from ..statsutil import MergeableStats
 from .alphabet import (
     Alphabet,
     AlphabetError,
+    AlphabetMemo,
     AlphabetStats,
     build_alphabets,
     resolve_max_literals,
 )
 from .automata import Dfa
-from .derivatives import DfaCache, compile_dfa, lazy_inclusion_search
+from .derivatives import DerivativeCache, DfaCache, compile_dfa, lazy_inclusion_search
 from .signatures import OperatorRegistry
 from .symbolic import BOT, Sfa
 
@@ -78,6 +79,14 @@ class InclusionStats(MergeableStats):
     #: DFA-compilation memo behaviour (per (sfa_id, alphabet fingerprint))
     dfa_cache_hits: int = 0
     dfa_cache_misses: int = 0
+    #: size-cap wipes of the DFA-compilation memo
+    dfa_cache_evictions: int = 0
+    #: alphabet constructions actually enumerated (#Alph — volatile: whether a
+    #: check builds or reuses depends on what ran before it in this process)
+    alphabet_builds: int = 0
+    #: alphabet constructions answered by the cross-obligation memo, which
+    #: replays the recorded counter bill so every other column stays put
+    alphabet_memo_hits: int = 0
     fa_time_seconds: float = 0.0
 
     @property
@@ -117,6 +126,8 @@ class InclusionChecker:
         max_literals: Optional[int] = None,
         strategy: str = "guided",
         discharge: str = "lazy",
+        alphabet_memo: Optional[AlphabetMemo] = None,
+        derivative_cache: Optional[DerivativeCache] = None,
     ) -> None:
         if discharge not in DISCHARGE_MODES:
             raise ValueError(
@@ -129,6 +140,12 @@ class InclusionChecker:
         self.max_literals = resolve_max_literals(max_literals, strategy, filter_unsat_minterms)
         self.strategy = strategy
         self.discharge = discharge
+        #: when set, alphabets come from the shared cross-obligation memo
+        #: (hermetic construction + recorded-counter replay); when ``None``
+        #: the checker builds them on its own solver, the standalone path
+        self.alphabet_memo = alphabet_memo
+        #: optional cross-search memo for lazy-derivative steps (pure reuse)
+        self.derivative_cache = derivative_cache
         self.stats = InclusionStats()
         self.cache_hits = 0
         self._cache: dict[tuple, InclusionResult] = {}
@@ -166,17 +183,35 @@ class InclusionChecker:
             self.cache_hits += 1
             return cached
         alphabet_stats = AlphabetStats()
-        alphabets = build_alphabets(
-            self.solver,
-            list(hypotheses),
-            [lhs, rhs],
-            self.operators,
-            extra_context_literals=extra_context_literals,
-            max_literals=self.max_literals,
-            filter_unsat=self.filter_unsat_minterms,
-            strategy=self.strategy,
-            stats=alphabet_stats,
-        )
+        if self.alphabet_memo is not None:
+            alphabets, built = self.alphabet_memo.alphabets_for(
+                list(hypotheses),
+                [lhs, rhs],
+                self.operators,
+                extra_context_literals=extra_context_literals,
+                max_literals=self.max_literals,
+                filter_unsat=self.filter_unsat_minterms,
+                strategy=self.strategy,
+                stats=alphabet_stats,
+                solver_stats=self.solver.stats,
+            )
+            if built:
+                self.stats.alphabet_builds += 1
+            else:
+                self.stats.alphabet_memo_hits += 1
+        else:
+            alphabets = build_alphabets(
+                self.solver,
+                list(hypotheses),
+                [lhs, rhs],
+                self.operators,
+                extra_context_literals=extra_context_literals,
+                max_literals=self.max_literals,
+                filter_unsat=self.filter_unsat_minterms,
+                strategy=self.strategy,
+                stats=alphabet_stats,
+            )
+            self.stats.alphabet_builds += 1
         self.stats.context_cases += alphabet_stats.context_cases
         self.stats.minterm_candidates += alphabet_stats.minterm_candidates
         self.stats.satisfiable_minterms += alphabet_stats.satisfiable_minterms
@@ -198,7 +233,9 @@ class InclusionChecker:
 
     def _check_lazy(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
         start = time.perf_counter()
-        witness, explored = lazy_inclusion_search(lhs, rhs, alphabet)
+        witness, explored = lazy_inclusion_search(
+            lhs, rhs, alphabet, cache=self.derivative_cache
+        )
         self.stats.prod_states += explored
         self.stats.fa_inclusion_checks += 1
         self.stats.fa_time_seconds += time.perf_counter() - start
@@ -212,10 +249,12 @@ class InclusionChecker:
         start = time.perf_counter()
         hits_before = self._dfa_cache.hits
         misses_before = self._dfa_cache.misses
+        evictions_before = self._dfa_cache.evictions
         lhs_dfa = compile_dfa(lhs, alphabet, cache=self._dfa_cache)
         rhs_dfa = compile_dfa(rhs, alphabet, cache=self._dfa_cache)
         self.stats.dfa_cache_hits += self._dfa_cache.hits - hits_before
         self.stats.dfa_cache_misses += self._dfa_cache.misses - misses_before
+        self.stats.dfa_cache_evictions += self._dfa_cache.evictions - evictions_before
         if self.minimize:
             lhs_dfa = lhs_dfa.minimize()
             rhs_dfa = rhs_dfa.minimize()

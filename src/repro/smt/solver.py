@@ -66,6 +66,8 @@ class SolverStats(MergeableStats):
     #: answered from the content-addressed query / enumeration caches
     cache_hits: int = 0
     cache_misses: int = 0
+    #: times a size cap wiped one of the solver's caches (bulk clear-all)
+    cache_evictions: int = 0
     #: satisfiable assignments produced by :meth:`Solver.enumerate_models`
     models_enumerated: int = 0
     #: SAT-core internals (per-backend columns in the tables)
@@ -153,6 +155,7 @@ class Solver:
     def _remember_lemma(self, conflict: list[tuple[Term, bool]]) -> None:
         if len(self._theory_lemmas) >= self.max_cache_entries:
             self._theory_lemmas.clear()
+            self.stats.cache_evictions += 1
         key = tuple(sorted((atom.term_id, value) for atom, value in conflict))
         if key in self._base_theory_lemmas:
             return
@@ -197,6 +200,7 @@ class Solver:
             self.stats.unsat_results += 1
         if len(self._sat_cache) >= self.max_cache_entries:
             self._sat_cache.clear()
+            self.stats.cache_evictions += 1
         self._sat_cache[key] = result
         return result
 
@@ -253,6 +257,7 @@ class Solver:
         self.stats.models_enumerated += len(models)
         if len(self._enum_cache) >= self.max_cache_entries:
             self._enum_cache.clear()
+            self.stats.cache_evictions += 1
         self._enum_cache[key] = tuple(models)
         return models
 

@@ -138,14 +138,25 @@ def obligation_digest(obligation) -> str:
     Mirrors its semantics exactly — hypotheses as an unordered set plus the
     two automata; kind and provenance deliberately excluded, because
     isomorphic queries share one verdict no matter where they were emitted.
+    Memoised on the (frozen) obligation itself: with a store attached, the
+    cost-model scheduler and the store lookup both need the digest in one
+    batch.
     """
-    return _digest(
+    cached = getattr(obligation, "_digest", None)
+    if cached is not None:
+        return cached
+    result = _digest(
         FINGERPRINT_VERSION,
         "obligation",
         *sorted(term_digest(h) for h in obligation.hypotheses),
         sfa_digest(obligation.lhs),
         sfa_digest(obligation.rhs),
     )
+    try:
+        object.__setattr__(obligation, "_digest", result)
+    except AttributeError:  # pragma: no cover - slotted/odd obligation stand-ins
+        pass
+    return result
 
 
 def shard_of(digest: str, shards: int) -> int:
@@ -180,8 +191,23 @@ def type_digest(ty) -> str:
     raise TypeError(f"cannot fingerprint type {ty!r}")
 
 
+#: Identity-keyed digest memos.  Spec and library objects are immutable in
+#: practice and re-digested constantly — once per method check, once per
+#: checker construction — so their digests are cached per *object*.  The memo
+#: holds a strong reference to the keyed object, which is what makes ``id()``
+#: a sound key (the id cannot be recycled while the entry lives); the caps
+#: below just bound a pathological churn of throwaway objects.
+_SPEC_DIGEST_MEMO: dict[int, tuple[object, str]] = {}
+#: (id(operators), id(axioms)) -> (operators, axioms, constants key, digest)
+_LIBRARY_DIGEST_MEMO: dict[tuple[int, int], tuple] = {}
+_IDENTITY_MEMO_CAP = 4096
+
+
 def spec_digest(spec) -> str:
     """Content address of one method's HAT signature (dependency-index key)."""
+    cached = _SPEC_DIGEST_MEMO.get(id(spec))
+    if cached is not None and cached[0] is spec:
+        return cached[1]
     parts = [FINGERPRINT_VERSION, "spec", spec.name]
     for ghost_name, ghost_sort in spec.ghosts:
         parts.append(_digest("ghost", ghost_name, ghost_sort.name))
@@ -190,7 +216,11 @@ def spec_digest(spec) -> str:
     parts.append(sfa_digest(spec.precondition))
     parts.append(type_digest(spec.result))
     parts.append(sfa_digest(spec.postcondition))
-    return _digest(*parts)
+    result = _digest(*parts)
+    if len(_SPEC_DIGEST_MEMO) >= _IDENTITY_MEMO_CAP:
+        _SPEC_DIGEST_MEMO.clear()
+    _SPEC_DIGEST_MEMO[id(spec)] = (spec, result)
+    return result
 
 
 def axiom_digest(ax: Axiom) -> str:
@@ -212,13 +242,33 @@ def library_digest(
     Covers the operator signatures (the SFA alphabet), the FOL axioms of the
     pure helpers, and the named constants — everything an obligation's meaning
     can depend on beyond its own formulas.
+
+    Memoised per ``(operators, axioms)`` object identity (constants are
+    compared by their interned term ids): one checker run digests the same
+    library once, no matter how many per-method engines and fingerprints sit
+    on top of it.
     """
+    constants_key = tuple(
+        sorted((name, term.term_id) for name, term in (constants or {}).items())
+    )
+    memo_key = (id(operators), id(axioms))
+    cached = _LIBRARY_DIGEST_MEMO.get(memo_key)
+    if cached is not None:
+        pinned_operators, pinned_axioms, pinned_constants, digest = cached
+        if pinned_operators is operators and pinned_axioms is axioms and (
+            pinned_constants == constants_key
+        ):
+            return digest
     parts = [FINGERPRINT_VERSION, "library"]
     parts.extend(sorted(signature_digest(sig) for sig in operators))
     parts.extend(sorted(axiom_digest(ax) for ax in axioms))
     for name in sorted(constants or {}):
         parts.append(_digest("const", name, term_digest(constants[name])))
-    return _digest(*parts)
+    result = _digest(*parts)
+    if len(_LIBRARY_DIGEST_MEMO) >= _IDENTITY_MEMO_CAP:
+        _LIBRARY_DIGEST_MEMO.clear()
+    _LIBRARY_DIGEST_MEMO[memo_key] = (operators, axioms, constants_key, result)
+    return result
 
 
 def environment_fingerprint(
@@ -231,6 +281,7 @@ def environment_fingerprint(
     strategy: str = "guided",
     discharge: str = "lazy",
     backend: str = "dpll",
+    library: Optional[str] = None,
 ) -> str:
     """The *semantic environment* a verdict (and its counters) depends on.
 
@@ -242,12 +293,19 @@ def environment_fingerprint(
     start under ``cdcl`` must never replay numbers a ``dpll`` discharge
     produced.  Worker count and shard assignment are deliberately absent —
     the determinism contract says they never change any obligation-derived
-    counter.
+    counter.  Scheduling order and the cross-obligation memos are absent for
+    the same reason, and the recorded *cost* records are advisory
+    measurements, so they live outside the fingerprint too.
+
+    ``library`` lets a caller that already holds the library's content digest
+    (the checker computes it once per run for the dependency index) pass it
+    in instead of re-walking the operator/axiom/constant surface per method
+    engine.
     """
     return _digest(
         FINGERPRINT_VERSION,
         "env",
-        library_digest(operators, axioms),
+        library if library is not None else library_digest(operators, axioms),
         repr(bool(minimize)),
         repr(bool(filter_unsat_minterms)),
         repr(resolve_max_literals(max_literals, strategy, filter_unsat_minterms)),

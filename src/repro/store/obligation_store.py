@@ -51,6 +51,9 @@ SCHEMA_VERSION = "pymarple-store-v1"
 _ENTRIES = "entries.jsonl"
 _META = "meta.json"
 _SHARD_DIR = "shards"
+_RUNS = "runs.jsonl"
+#: the run log is trimmed to this many most-recent records on commit
+_MAX_RUN_RECORDS = 256
 
 
 @dataclass
@@ -70,10 +73,22 @@ class StoreEntry:
     library: str = ""
     kind: str = ""
     provenance: str = ""
+    #: the discharge cost record (``{"wall": seconds, ...}``) behind the
+    #: cost-model scheduler.  Deliberately *outside* the content address and
+    #: the deterministic tables: it is a measurement, not a semantic fact —
+    #: advisory across environments (a dpll-warmed store still orders a cdcl
+    #: run sensibly) and free to vary run to run.
+    cost: dict = field(default_factory=dict)
 
     @property
     def key(self) -> tuple[str, str]:
         return (self.env, self.fp)
+
+    @property
+    def wall_cost(self) -> Optional[float]:
+        """The recorded wall-clock discharge cost in seconds, if any."""
+        wall = self.cost.get("wall")
+        return float(wall) if isinstance(wall, (int, float)) else None
 
     def to_json(self) -> str:
         return json.dumps(
@@ -91,6 +106,7 @@ class StoreEntry:
                 "lib": self.library,
                 "kind": self.kind,
                 "prov": self.provenance,
+                "cost": self.cost,
             },
             sort_keys=True,
         )
@@ -112,6 +128,7 @@ class StoreEntry:
             library=obj.get("lib", ""),
             kind=obj.get("kind", ""),
             provenance=obj.get("prov", ""),
+            cost=obj.get("cost") or {},
         )
 
 
@@ -147,6 +164,15 @@ class ObligationStore:
         self._pending: list[StoreEntry] = []
         #: per-(scope, method) session counters, in first-check order
         self.session: dict[tuple[str, str], MethodStoreCounts] = {}
+        #: obligation fp -> recorded wall cost (advisory, env-free): built
+        #: from every loaded/recorded entry and deliberately *not* pruned by
+        #: invalidation — a stale verdict's cost is still a fine schedule hint
+        self._cost_index: dict[str, float] = {}
+        #: (env, fp) keys referenced (hit or written) since the last
+        #: :meth:`commit_run` — the session bookkeeping behind store GC
+        self._touched: dict[tuple[str, str], None] = {}
+        #: the persisted run log: one ``{"run": n, "touched": [...]}`` per run
+        self._runs: list[dict] = []
         self._load()
 
     # -- loading -----------------------------------------------------------------
@@ -169,6 +195,9 @@ class ObligationStore:
                     entries_path.unlink()
                 for shard_file in self.shard_files():
                     shard_file.unlink()
+                runs_path = self.path / _RUNS
+                if runs_path.exists():
+                    runs_path.unlink()
                 meta_path.write_text(json.dumps({"schema": SCHEMA_VERSION}) + "\n")
             return
         if entries_path.exists():
@@ -182,14 +211,53 @@ class ObligationStore:
                     except (ValueError, KeyError):
                         continue  # tolerate a torn/corrupt trailing line
                     self._entries[entry.key] = entry
+                    self._note_cost(entry)
+        runs_path = self.path / _RUNS
+        if runs_path.exists():
+            with runs_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if (
+                        isinstance(record, dict)
+                        and isinstance(record.get("touched"), list)
+                        and isinstance(record.get("run"), int)
+                    ):
+                        self._runs.append(record)
+
+    def _note_cost(self, entry: StoreEntry) -> None:
+        wall = entry.wall_cost
+        if wall is not None:
+            self._cost_index[entry.fp] = wall
 
     # -- the read/write surface ----------------------------------------------------
     def lookup(self, env: str, fp: str) -> Optional[StoreEntry]:
-        return self._entries.get((env, fp))
+        entry = self._entries.get((env, fp))
+        if entry is not None:
+            self._touched[entry.key] = None
+        return entry
 
     def record(self, entry: StoreEntry) -> None:
         self._entries[entry.key] = entry
         self._pending.append(entry)
+        self._touched[entry.key] = None
+        self._note_cost(entry)
+
+    def cost_hint(self, fp: str) -> Optional[float]:
+        """The last recorded wall cost for an obligation fingerprint, if any.
+
+        Deliberately environment-free: verdicts must never cross environments
+        (a cdcl run cannot replay dpll counters), but a *measurement* of how
+        long the obligation took to discharge is a fine scheduling hint under
+        any backend/strategy — which is exactly when cold obligations have
+        history (the same-environment case would have been a store hit).
+        """
+        return self._cost_index.get(fp)
 
     def flush(self) -> None:
         """Append pending entries to the log (or to this process's shard file)."""
@@ -276,6 +344,68 @@ class ObligationStore:
             }
             for (scope, method), counts in self.session.items()
         ]
+
+    # -- run bookkeeping and garbage collection --------------------------------------
+    def commit_run(self) -> int:
+        """Close the current session as one *run* in the persistent run log.
+
+        Appends the set of entry keys this session referenced (store hits and
+        fresh writes alike) to ``runs.jsonl`` — the reference trail
+        :meth:`gc` keeps entries alive by.  Returns the number of keys
+        recorded; a session that touched nothing records no run.  Shard
+        workers never commit runs (the parent absorbs their entries and
+        commits on their behalf).
+        """
+        if self.shard_output is not None or not self._touched:
+            self._touched.clear()
+            return 0
+        self.flush()
+        touched = sorted(f"{env}:{fp}" for env, fp in self._touched)
+        sequence = (self._runs[-1]["run"] + 1) if self._runs else 1
+        self._runs.append({"run": sequence, "touched": touched})
+        self._touched.clear()
+        if len(self._runs) > _MAX_RUN_RECORDS:
+            self._runs = self._runs[-_MAX_RUN_RECORDS:]
+        runs_path = self.path / _RUNS
+        with runs_path.open("w", encoding="utf-8") as handle:
+            for record in self._runs:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(touched)
+
+    def gc(self, keep_last: int) -> int:
+        """Expire entries unreferenced by the last ``keep_last`` runs.
+
+        Content addressing already guarantees stale entries can never be
+        *hit*; GC is about space — spec edits, renamed methods and abandoned
+        experiments leave verdicts nothing will ever look up again.  An entry
+        survives iff one of the last ``keep_last`` committed runs referenced
+        it (hit it or wrote it), so everything those runs warm-started from
+        still warm-starts after the sweep.  Returns the number of entries
+        dropped; older run records are dropped from the log too.
+        """
+        if keep_last < 1:
+            raise ValueError("gc requires keep_last >= 1")
+        if self.shard_output is not None:
+            return 0
+        if self._touched:
+            # an uncommitted session counts as the most recent run
+            self.commit_run()
+        kept_runs = self._runs[-keep_last:]
+        referenced: set[tuple[str, str]] = set()
+        for record in kept_runs:
+            for key in record["touched"]:
+                env, _, fp = key.partition(":")
+                referenced.add((env, fp))
+        stale = [key for key in self._entries if key not in referenced]
+        for key in stale:
+            del self._entries[key]
+        self._runs = kept_runs
+        runs_path = self.path / _RUNS
+        with runs_path.open("w", encoding="utf-8") as handle:
+            for record in self._runs:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.compact()
+        return len(stale)
 
     # -- shard merging ---------------------------------------------------------------
     def shard_files(self) -> list[Path]:

@@ -34,8 +34,8 @@ from ..smt.sorts import BOOL, INT, Sort, UNIT
 from ..engine import ObligationEngine, ObligationSet
 from ..lang import ast
 from ..sfa import symbolic
-from ..sfa.alphabet import AlphabetError
-from ..sfa.derivatives import CompilationError
+from ..sfa.alphabet import AlphabetError, AlphabetMemo
+from ..sfa.derivatives import CompilationError, DerivativeCache
 from ..smt.solver import SolverError
 from ..sfa.inclusion import InclusionChecker
 from ..sfa.signatures import OperatorRegistry
@@ -78,6 +78,14 @@ def _default_backend() -> str:
     return os.environ.get("REPRO_BACKEND") or "dpll"
 
 
+def _default_schedule() -> str:
+    return os.environ.get("REPRO_SCHEDULE") or "auto"
+
+
+def _default_memo() -> bool:
+    return os.environ.get("REPRO_MEMO", "1") != "0"
+
+
 @dataclass
 class CheckerConfig:
     """Tunable knobs (mostly used by the ablation benchmarks)."""
@@ -103,6 +111,20 @@ class CheckerConfig:
     #: process-pool width for obligation discharge (1 = in-process serial).
     #: Overridable via the REPRO_WORKERS environment variable (CI matrix).
     workers: int = field(default_factory=_default_workers)
+    #: how cold obligations are ordered for discharge: "auto" (historical
+    #: store cost when available — LPT under a pool, cheapest-first serially —
+    #: falling back to the syntactic estimate), or the explicit "cost"/"lpt"/
+    #: "syntactic" policies used by ablations and the determinism suite.
+    #: Ordering is advisory: it can never change a verdict or a counter.
+    #: Overridable via the REPRO_SCHEDULE environment variable.
+    schedule: str = field(default_factory=_default_schedule)
+    #: cross-obligation reuse of alphabet/minterm constructions and lazy
+    #: derivative steps.  Alphabets are always built hermetically (a fresh
+    #: solver per literal-set key) with their counter bill recorded and
+    #: replayed on reuse, so toggling the memo changes wall-clock time only —
+    #: every deterministic table is byte-identical either way.  Overridable
+    #: via REPRO_MEMO=0 (the ablation/acceptance toggle).
+    cross_obligation_memo: bool = field(default_factory=_default_memo)
     #: ``(index, count)`` — discharge only the obligations whose fingerprint
     #: hashes into this shard (set by the sharded suite runner; the resulting
     #: report is only meaningful for warming an obligation store)
@@ -137,6 +159,20 @@ class Checker:
             library_digest(operators, axioms, self.constants) if store is not None else ""
         )
         self.solver = smt.Solver(axioms=list(axioms), backend=self.config.backend)
+        # The cross-obligation reuse layers, shared by the inline checker and
+        # every (possibly forked) per-obligation checker: alphabet/minterm
+        # constructions are built hermetically per literal-set key and their
+        # counter bill replayed on reuse; derivative steps are pure, so their
+        # memo is plain reuse.  ``cross_obligation_memo=False`` disables the
+        # *reuse* only — constructions stay hermetic, counters stay put.
+        self.alphabet_memo = AlphabetMemo(
+            axioms=tuple(axioms),
+            backend=self.config.backend,
+            enabled=self.config.cross_obligation_memo,
+        )
+        self.derivative_cache = (
+            DerivativeCache() if self.config.cross_obligation_memo else None
+        )
         # Inline queries that steer the walk (HAT subtyping, ghost abduction)
         # still go through this shared checker; deferred leaf obligations are
         # discharged by the obligation engine below.
@@ -148,6 +184,8 @@ class Checker:
             max_literals=self.config.max_literals,
             strategy=self.config.enumeration_strategy,
             discharge=self.config.discharge,
+            alphabet_memo=self.alphabet_memo,
+            derivative_cache=self.derivative_cache,
         )
         self.engine = SubtypingEngine(self.solver, self.inclusion)
         self.obligation_engine = ObligationEngine(
@@ -164,6 +202,14 @@ class Checker:
             warm_solver=self.solver,
             store=store,
             shard=self.config.shard,
+            schedule=self.config.schedule,
+            alphabet_memo=self.alphabet_memo,
+            derivative_cache=self.derivative_cache,
+            # Deliberately NOT self._library_digest: the dependency record
+            # includes the constant table, the environment fingerprint never
+            # has (every other store path computes the constants-free digest,
+            # and existing stores key on it).  The identity memo on
+            # library_digest makes the recomputation free either way.
         )
         self._obligations: Optional[ObligationSet] = None
 
@@ -280,6 +326,9 @@ class Checker:
             sat_conflicts=solver_after.sat_conflicts - solver_before.sat_conflicts,
             fa_inclusion_checks=inclusion_after.fa_inclusion_checks - inclusion_before.fa_inclusion_checks,
             dfa_cache_hits=inclusion_after.dfa_cache_hits - inclusion_before.dfa_cache_hits,
+            alphabet_builds=inclusion_after.alphabet_builds - inclusion_before.alphabet_builds,
+            alphabet_memo_hits=inclusion_after.alphabet_memo_hits
+            - inclusion_before.alphabet_memo_hits,
             prod_states=inclusion_after.prod_states - inclusion_before.prod_states,
             states_built=inclusion_after.states_built - inclusion_before.states_built,
             store_hits=engine_after.store_hits - engine_before.store_hits,

@@ -24,6 +24,14 @@ class MethodStats:
     fa_inclusion_checks: int = 0
     #: DFA compilations answered from the (sfa_id, alphabet) memo
     dfa_cache_hits: int = 0
+    #: alphabet/minterm constructions actually enumerated (#Alph) — volatile:
+    #: whether a check builds or reuses depends on what the shared
+    #: cross-obligation memo saw earlier in the process, so, like #Store,
+    #: this may read 0 on a warm run that built nothing
+    alphabet_builds: int = 0
+    #: alphabet constructions answered by the cross-obligation memo (which
+    #: replays the recorded counter bill, so every other column stays put)
+    alphabet_memo_hits: int = 0
     #: product pairs explored during inclusion (#prod-states)
     prod_states: int = 0
     #: DFA states materialised by the compiled discharge path
@@ -46,6 +54,7 @@ class MethodStats:
             "#Confl": self.sat_conflicts,
             "#Inc": self.fa_inclusion_checks,
             "#FAcache": self.dfa_cache_hits,
+            "#Alph": self.alphabet_builds,
             "#Prod": self.prod_states,
             "sFAbuilt": self.states_built,
             "#Store": self.store_hits,
@@ -61,9 +70,12 @@ class MethodStats:
     TIME_COLUMNS = ("tSAT (s)", "tInc (s)", "t (s)")
 
     #: columns excluded from cold-vs-warm/worker-count determinism
-    #: comparisons: the time columns, plus #Store, which by design reads 0
-    #: on a cold run and >0 on a warm one
-    VOLATILE_COLUMNS = TIME_COLUMNS + ("#Store",)
+    #: comparisons: the time columns, plus #Store (by design 0 on a cold run
+    #: and >0 on a warm one) and #Alph (how many alphabet constructions a
+    #: method *ran* depends on what the shared cross-obligation memo already
+    #: held — the memo replays recorded counters, so everything else is
+    #: deterministic, but the build count itself is reuse bookkeeping)
+    VOLATILE_COLUMNS = TIME_COLUMNS + ("#Store", "#Alph")
 
     #: solver-internal columns: deterministic for a *fixed* backend (they
     #: participate in cold-vs-warm and worker-count comparisons) but
@@ -147,6 +159,7 @@ class AdtStats:
                     "#Confl": hardest.stats.sat_conflicts,
                     "#FA⊆": hardest.stats.fa_inclusion_checks,
                     "#FAcache": hardest.stats.dfa_cache_hits,
+                    "#Alph": hardest.stats.alphabet_builds,
                     "#Prod": hardest.stats.prod_states,
                     "#Store": hardest.stats.store_hits,
                     "avg. sFA": round(hardest.stats.average_fa_size, 1),

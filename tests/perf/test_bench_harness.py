@@ -1,0 +1,102 @@
+"""The tracked benchmark harness: payload shape, regression gate, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import compare_payloads, load_payload, run_bench, summarize
+from repro.typecheck.checker import CheckerConfig
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(runs=1, config=CheckerConfig())
+
+
+def test_payload_shape(payload):
+    assert payload["schema"] == 1
+    assert payload["corpus"] == "fast"
+    for phase in ("cold", "warm"):
+        section = payload[phase]
+        assert section["all_verified"] and section["all_negatives_rejected"]
+        assert section["wall_seconds"] > 0
+        assert section["counters"]["obligations"] > 0
+        assert set(section["tables_deterministic"]) == {"table1", "table3", "table4"}
+        assert section["per_adt_wall_seconds"]
+
+
+def test_cold_discharges_and_warm_replays(payload):
+    assert payload["cold"]["counters"]["store_hits"] == 0
+    warm = payload["warm"]["counters"]
+    assert warm["store_hits"] > 0
+    # a store hit replays the cold discharge's recorded counters — alphabet
+    # builds included — so warm counters mirror cold ones exactly (nothing is
+    # *re-enumerated*; the replay is what keeps warm tables byte-identical)
+    assert warm["alphabet_builds"] == payload["cold"]["counters"]["alphabet_builds"]
+
+
+def test_warm_tables_match_cold_tables(payload):
+    assert payload["warm"]["tables_deterministic"] == payload["cold"]["tables_deterministic"]
+
+
+def test_cross_obligation_reuse_is_visible(payload):
+    counters = payload["cold"]["counters"]
+    assert 0 < counters["alphabet_builds"] < counters["obligations"], (
+        "the memo must build strictly fewer alphabets than obligations emitted"
+    )
+
+
+def test_compare_within_tolerance_passes(payload):
+    current = copy.deepcopy(payload)
+    current["cold"]["wall_seconds"] = payload["cold"]["wall_seconds"] * 1.1
+    ok, messages = compare_payloads(current, payload, tolerance=0.2)
+    assert ok
+    assert any("cold wall" in m and "ok" in m for m in messages)
+    assert any("counters: identical" in m for m in messages)
+
+
+def test_compare_flags_regression(payload):
+    current = copy.deepcopy(payload)
+    current["cold"]["wall_seconds"] = payload["cold"]["wall_seconds"] * 1.5
+    ok, messages = compare_payloads(current, payload, tolerance=0.2)
+    assert not ok
+    assert any("REGRESSION" in m for m in messages)
+
+
+def test_compare_reports_counter_drift_as_advisory(payload):
+    current = copy.deepcopy(payload)
+    current["cold"]["counters"]["smt_queries"] += 7
+    ok, messages = compare_payloads(current, payload, tolerance=0.2)
+    assert ok, "counter drift is advisory, not a gate"
+    assert any("counters moved" in m for m in messages)
+
+
+def test_load_payload_round_trip(payload, tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    assert load_payload(path)["cold"] == payload["cold"]
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(ValueError):
+        load_payload(bad)
+
+
+def test_summarize_mentions_the_headline_numbers(payload):
+    text = summarize(payload)
+    assert "cold:" in text and "warm:" in text and "alphabet builds=" in text
+
+
+def test_run_bench_validates_runs():
+    with pytest.raises(ValueError):
+        run_bench(runs=0)
+
+
+def test_committed_bench_payload_is_well_formed():
+    """The checked-in BENCH_PR5.json must parse and carry the PR4 baseline."""
+    from pathlib import Path
+
+    committed = load_payload(Path(__file__).resolve().parents[2] / "BENCH_PR5.json")
+    assert committed["baseline"]["label"] == "PR4"
+    assert committed["baseline"]["cold_wall_seconds"] > 0
+    assert committed["cold"]["wall_seconds"] > 0
