@@ -16,6 +16,10 @@ mirror the ``REPRO_*`` environment variables.  Incremental verification is enabl
 discharged obligations are persisted to an on-disk store and answered from it
 on later runs; ``--explain`` prints the per-method hit/miss/invalidated
 counts, and ``--json`` emits a machine-readable report for CI trend tracking.
+The store's persistence backend follows the path (``store.db`` or
+``sqlite:PATH`` → a WAL-mode SQLite file, anything else → the locked JSONL
+directory) or is forced with ``--store-backend``/``REPRO_STORE_BACKEND``;
+``pymarple store migrate SRC DST`` converts between them losslessly.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from typing import Optional, Sequence
 from .engine.scheduler import SCHEDULE_MODES
 from .evaluation import render_all, report_json, run_evaluation, table1, table2, table3, table4
 from .smt.backends import known_backends, resolve_backend
+from .store.backends import KNOWN_STORE_BACKENDS, migrate_store, resolve_store_backend
 from .store.obligation_store import ObligationStore
 from .suite.registry import all_benchmarks, benchmark_by_key
 from .typecheck.checker import CheckerConfig
@@ -100,6 +105,15 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print per-method store hit/miss/invalidated counts",
     )
+    group.add_argument(
+        "--store-backend",
+        choices=("auto",) + KNOWN_STORE_BACKENDS,
+        help=(
+            "store persistence backend: auto infers from the path (.db/sqlite: "
+            "means sqlite, a directory means jsonl) "
+            "(default: REPRO_STORE_BACKEND or auto)"
+        ),
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> CheckerConfig:
@@ -116,6 +130,8 @@ def _config_from_args(args: argparse.Namespace) -> CheckerConfig:
         kwargs["schedule"] = args.schedule
     if getattr(args, "no_memo", False):
         kwargs["cross_obligation_memo"] = False
+    if getattr(args, "store_backend", None) is not None:
+        kwargs["store_backend"] = args.store_backend
     config = CheckerConfig(**kwargs)
     # Validate the *resolved* backend and schedule, wherever they came from:
     # argparse already rejects unknown flag values, but REPRO_BACKEND /
@@ -133,10 +149,19 @@ def _config_from_args(args: argparse.Namespace) -> CheckerConfig:
             file=sys.stderr,
         )
         raise SystemExit(2)
+    if config.store_backend not in ("auto",) + KNOWN_STORE_BACKENDS:
+        print(
+            f"error: unknown store backend {config.store_backend!r}; "
+            f"expected one of {('auto',) + KNOWN_STORE_BACKENDS}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     return config
 
 
-def _open_store(args: argparse.Namespace) -> Optional[ObligationStore]:
+def _open_store(
+    args: argparse.Namespace, config: Optional[CheckerConfig] = None
+) -> Optional[ObligationStore]:
     wants_store = (
         getattr(args, "store", None)
         or getattr(args, "incremental", False)
@@ -144,7 +169,10 @@ def _open_store(args: argparse.Namespace) -> Optional[ObligationStore]:
     )
     if not wants_store:
         return None
-    return ObligationStore(getattr(args, "store", None) or DEFAULT_STORE_PATH)
+    backend = config.store_backend if config is not None else None
+    return ObligationStore(
+        getattr(args, "store", None) or DEFAULT_STORE_PATH, backend=backend
+    )
 
 
 def _finish_store(store: Optional[ObligationStore]) -> None:
@@ -160,9 +188,12 @@ def _finish_store(store: Optional[ObligationStore]) -> None:
 
 def _print_store_report(store: ObligationStore, explain: bool) -> None:
     summary = store.summary()
+    skipped = (
+        f", {summary['skipped']} corrupt records skipped" if summary["skipped"] else ""
+    )
     print(
         f"\nstore: {summary['entries']} entries, {summary['hits']} hits, "
-        f"{summary['misses']} misses, {summary['invalidated']} invalidated"
+        f"{summary['misses']} misses, {summary['invalidated']} invalidated{skipped}"
     )
     if explain:
         for row in store.explain():
@@ -190,8 +221,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    store = _open_store(args)
-    checker = benchmark.make_checker(_config_from_args(args), store=store)
+    config = _config_from_args(args)
+    store = _open_store(args, config)
+    checker = benchmark.make_checker(config, store=store)
     if args.method:
         if args.method not in benchmark.specs:
             known = ", ".join(benchmark.specs)
@@ -221,7 +253,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    store = _open_store(args)
+    store = _open_store(args, config)
     if args.shards > 1:
         from .store.shard import run_sharded_evaluation
 
@@ -253,10 +285,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
         else:
             print(table2())
         return 0
-    store = _open_store(args)
-    report = run_evaluation(
-        include_slow=not args.fast, config=_config_from_args(args), store=store
-    )
+    config = _config_from_args(args)
+    store = _open_store(args, config)
+    report = run_evaluation(include_slow=not args.fast, config=config, store=store)
     _finish_store(store)
     if args.json:
         from .evaluation.tables import TABLE3_ADTS, TABLE4_ADTS
@@ -310,8 +341,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_gc(args: argparse.Namespace) -> int:
-    store = ObligationStore(args.store or DEFAULT_STORE_PATH)
     try:
+        store = ObligationStore(
+            args.store or DEFAULT_STORE_PATH, backend=args.store_backend
+        )
         dropped = store.gc(args.keep_last)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -319,6 +352,30 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     print(
         f"store gc: dropped {dropped} entr{'y' if dropped == 1 else 'ies'}, "
         f"{len(store)} kept (referenced by the last {args.keep_last} runs)"
+    )
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    try:
+        source_name, _ = resolve_store_backend(args.source, args.from_backend)
+        destination_name, _ = resolve_store_backend(args.destination, args.to_backend)
+        if source_name == destination_name and args.to_backend in (None, "auto"):
+            # the common "convert this store" case: flip the backend when the
+            # destination path doesn't already say which one it wants
+            destination_name = "sqlite" if source_name == "jsonl" else "jsonl"
+        copied = migrate_store(
+            args.source,
+            args.destination,
+            source_backend=source_name,
+            destination_backend=destination_name,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"store migrate: {copied['entries']} entries and {copied['runs']} run "
+        f"records copied {source_name} → {destination_name} ({args.destination})"
     )
     return 0
 
@@ -414,7 +471,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=f"store directory (default: {DEFAULT_STORE_PATH})",
     )
+    gc.add_argument(
+        "--store-backend",
+        choices=("auto",) + KNOWN_STORE_BACKENDS,
+        default=None,
+        help="force the store's persistence backend (default: infer from the path)",
+    )
     gc.set_defaults(func=_cmd_store_gc)
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="copy a store losslessly between the jsonl and sqlite backends",
+    )
+    migrate.add_argument("source", help="existing store (directory or .db file)")
+    migrate.add_argument(
+        "destination",
+        help=(
+            "destination store path; with no explicit backend, an unsuffixed "
+            "fresh path converts to the other backend"
+        ),
+    )
+    migrate.add_argument(
+        "--from-backend",
+        choices=("auto",) + KNOWN_STORE_BACKENDS,
+        default=None,
+        help="force how the source is read (default: infer from the path)",
+    )
+    migrate.add_argument(
+        "--to-backend",
+        choices=("auto",) + KNOWN_STORE_BACKENDS,
+        default=None,
+        help="force the destination backend (default: infer, else the other backend)",
+    )
+    migrate.set_defaults(func=_cmd_store_migrate)
 
     table = sub.add_parser("table", help="print one of the paper's tables")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))

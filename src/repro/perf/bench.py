@@ -108,7 +108,7 @@ def run_bench(
 
     with tempfile.TemporaryDirectory(prefix="pymarple-bench-") as tmp:
         store_dir = store_path or str(Path(tmp) / "store")
-        store = ObligationStore(store_dir)
+        store = ObligationStore(store_dir, backend=config.store_backend)
         run_evaluation(include_slow=include_slow, config=config, store=store)
         store.flush()
         store.commit_run()
@@ -116,7 +116,7 @@ def run_bench(
         warm_walls: list[float] = []
         warm_report: Optional[EvaluationReport] = None
         for _ in range(runs):
-            warm_store = ObligationStore(store_dir)
+            warm_store = ObligationStore(store_dir, backend=config.store_backend)
             start = time.perf_counter()
             report = run_evaluation(
                 include_slow=include_slow, config=config, store=warm_store

@@ -4,7 +4,10 @@ The subsystem behind ``pymarple --incremental``:
 
 * :mod:`repro.store.fingerprint` — process-independent content addresses for
   terms, automata, obligations, specs and libraries;
-* :mod:`repro.store.obligation_store` — the on-disk JSON-lines store mapping
+* :mod:`repro.store.backends` — the pluggable persistence backends (JSONL
+  directory with advisory locking, or a WAL-mode SQLite file), both safe
+  under concurrent writer processes, plus lossless migration between them;
+* :mod:`repro.store.obligation_store` — the store facade mapping
   (environment fingerprint, obligation fingerprint) to verdicts, witness
   traces and per-obligation discharge counters, with dependency-tracked
   invalidation;
@@ -12,6 +15,13 @@ The subsystem behind ``pymarple --incremental``:
   sits above the evaluation layer, which itself depends on this package).
 """
 
+from .backends import (
+    KNOWN_STORE_BACKENDS,
+    JsonlStoreBackend,
+    SqliteStoreBackend,
+    migrate_store,
+    resolve_store_backend,
+)
 from .fingerprint import (
     environment_fingerprint,
     library_digest,
@@ -30,8 +40,13 @@ from .obligation_store import (
 )
 
 __all__ = [
+    "KNOWN_STORE_BACKENDS",
     "SCHEMA_VERSION",
+    "JsonlStoreBackend",
     "MethodStoreCounts",
+    "SqliteStoreBackend",
+    "migrate_store",
+    "resolve_store_backend",
     "ObligationStore",
     "StoreContext",
     "StoreEntry",

@@ -1,24 +1,35 @@
 """The persistent obligation store: verdicts + witnesses + discharge stats.
 
-An :class:`ObligationStore` is a directory holding a JSON-lines log of
-discharged obligations, content-addressed by
+An :class:`ObligationStore` maps
 (:func:`~repro.store.fingerprint.environment_fingerprint`,
-:func:`~repro.store.fingerprint.obligation_digest`):
+:func:`~repro.store.fingerprint.obligation_digest`) keys to discharged
+obligations: besides the verdict (included / counterexample trace /
+resource-limit error) each entry carries the per-obligation
+``SolverStats``/``InclusionStats`` counter dicts, so a warm run merges
+*exactly* the numbers a cold discharge would have produced — this is what
+makes warm tables byte-identical to cold ones — plus a dependency record
+(benchmark scope, method, spec digest, library digest) for targeted
+invalidation and an advisory cost record for the scheduler.
 
-``path/meta.json``
-    ``{"schema": ...}`` — entries written under a different schema tag are
-    discarded wholesale on open (never reinterpreted).
-``path/entries.jsonl``
-    One entry per line, append-only; the last line for a key wins.  Besides
-    the verdict (included / counterexample trace / resource-limit error) each
-    entry carries the per-obligation ``SolverStats``/``InclusionStats``
-    counter dicts, so a warm run merges *exactly* the numbers a cold
-    discharge would have produced — this is what makes warm tables
-    byte-identical to cold ones — plus a dependency record (benchmark scope,
-    method, spec digest, library digest) for targeted invalidation.
-``path/shards/shard-K.jsonl``
-    Transient per-process outputs of the sharded suite runner, merged back
-    into ``entries.jsonl`` by :meth:`ObligationStore.absorb_shards`.
+Persistence is delegated to a :mod:`~repro.store.backends` backend, selected
+from the store path (``.db``/``sqlite:`` → sqlite, directory → jsonl) or
+forced via ``backend=``/``REPRO_STORE_BACKEND``:
+
+* the **jsonl** backend keeps the original directory layout (``meta.json``,
+  append-only ``entries.jsonl`` where the last line per key wins,
+  ``runs.jsonl``, ``shards/``), hardened with an advisory ``flock`` per
+  write and atomic fsynced rewrites;
+* the **sqlite** backend keeps one WAL-mode database file with the same
+  records in ``entries``/``deps``/``costs``/``runs`` tables, UPSERTed on the
+  ``(env, fp)`` primary key.
+
+Either way the store is safe under concurrent writer processes: appends can
+never interleave partial entries, and the read-modify-rewrite operations
+(:meth:`compact`, :meth:`invalidate_stale`, :meth:`commit_run`, :meth:`gc`)
+re-read the on-disk state under an exclusive lock/transaction before
+rewriting, so entries appended by another process since :meth:`_load` are
+never silently dropped.  Corrupt or torn records (a killed writer's partial
+line) are skipped and counted — see ``summary()["skipped"]`` — never fatal.
 
 Invalidation is dependency-tracked: when a method is about to be verified,
 :meth:`invalidate_stale` drops exactly the entries whose recorded spec or
@@ -39,97 +50,22 @@ verdicts.
 
 from __future__ import annotations
 
-import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
 
-#: Store layout version; entries under another tag are discarded on open.
-SCHEMA_VERSION = "pymarple-store-v1"
+from .backends import (
+    ENTRY_DECODE_ERRORS,
+    SCHEMA_VERSION,
+    LoadedState,
+    StoreEntry,
+    append_jsonl_batch,
+    open_backend,
+)
 
-_ENTRIES = "entries.jsonl"
-_META = "meta.json"
-_SHARD_DIR = "shards"
-_RUNS = "runs.jsonl"
 #: the run log is trimmed to this many most-recent records on commit
 _MAX_RUN_RECORDS = 256
-
-
-@dataclass
-class StoreEntry:
-    """One discharged obligation: verdict, witness trace and counter dicts."""
-
-    env: str
-    fp: str
-    included: bool
-    counterexample: Optional[list[str]] = None
-    error: Optional[str] = None
-    solver_stats: dict = field(default_factory=dict)
-    inclusion_stats: dict = field(default_factory=dict)
-    scope: str = ""
-    method: str = ""
-    spec: str = ""
-    library: str = ""
-    kind: str = ""
-    provenance: str = ""
-    #: the discharge cost record (``{"wall": seconds, ...}``) behind the
-    #: cost-model scheduler.  Deliberately *outside* the content address and
-    #: the deterministic tables: it is a measurement, not a semantic fact —
-    #: advisory across environments (a dpll-warmed store still orders a cdcl
-    #: run sensibly) and free to vary run to run.
-    cost: dict = field(default_factory=dict)
-
-    @property
-    def key(self) -> tuple[str, str]:
-        return (self.env, self.fp)
-
-    @property
-    def wall_cost(self) -> Optional[float]:
-        """The recorded wall-clock discharge cost in seconds, if any."""
-        wall = self.cost.get("wall")
-        return float(wall) if isinstance(wall, (int, float)) else None
-
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "env": self.env,
-                "fp": self.fp,
-                "inc": self.included,
-                "cex": self.counterexample,
-                "err": self.error,
-                "sol": self.solver_stats,
-                "fa": self.inclusion_stats,
-                "scope": self.scope,
-                "method": self.method,
-                "spec": self.spec,
-                "lib": self.library,
-                "kind": self.kind,
-                "prov": self.provenance,
-                "cost": self.cost,
-            },
-            sort_keys=True,
-        )
-
-    @classmethod
-    def from_json(cls, line: str) -> "StoreEntry":
-        obj = json.loads(line)
-        return cls(
-            env=obj["env"],
-            fp=obj["fp"],
-            included=bool(obj["inc"]),
-            counterexample=obj.get("cex"),
-            error=obj.get("err"),
-            solver_stats=obj.get("sol") or {},
-            inclusion_stats=obj.get("fa") or {},
-            scope=obj.get("scope", ""),
-            method=obj.get("method", ""),
-            spec=obj.get("spec", ""),
-            library=obj.get("lib", ""),
-            kind=obj.get("kind", ""),
-            provenance=obj.get("prov", ""),
-            cost=obj.get("cost") or {},
-        )
 
 
 @dataclass(frozen=True)
@@ -154,16 +90,30 @@ class MethodStoreCounts:
 class ObligationStore:
     """A content-addressed, dependency-indexed verdict store on disk."""
 
-    def __init__(self, path: os.PathLike | str, *, shard_output: Optional[int] = None) -> None:
-        self.path = Path(path)
+    def __init__(
+        self,
+        path: os.PathLike | str,
+        *,
+        shard_output: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.backend = open_backend(path, backend)
+        self.path = self.backend.path
         #: when set, writes go to ``shards/shard-K.jsonl`` instead of the main
         #: log, and invalidation never rewrites the (shared) main log — the
         #: mode the sharded runner's forked children run in.
         self.shard_output = shard_output
         self._entries: dict[tuple[str, str], StoreEntry] = {}
         self._pending: list[StoreEntry] = []
+        #: every entry recorded through this session (never cleared by a
+        #: flush): what a locked rewrite merges over the re-read disk state,
+        #: so our writes survive a concurrent compaction and vice versa
+        self._session_writes: dict[tuple[str, str], StoreEntry] = {}
         #: per-(scope, method) session counters, in first-check order
         self.session: dict[tuple[str, str], MethodStoreCounts] = {}
+        #: corrupt/torn persisted records skipped (never fatal) while loading
+        #: the store or absorbing shard files in this session
+        self.skipped_records = 0
         #: obligation fp -> recorded wall cost (advisory, env-free): built
         #: from every loaded/recorded entry and deliberately *not* pruned by
         #: invalidation — a stale verdict's cost is still a fine schedule hint
@@ -175,60 +125,23 @@ class ObligationStore:
         self._runs: list[dict] = []
         self._load()
 
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
     # -- loading -----------------------------------------------------------------
     def _load(self) -> None:
-        self.path.mkdir(parents=True, exist_ok=True)
-        meta_path = self.path / _META
-        schema: Optional[str] = None
-        if meta_path.exists():
-            try:
-                schema = json.loads(meta_path.read_text()).get("schema")
-            except (OSError, ValueError):
-                schema = None
-        entries_path = self.path / _ENTRIES
-        if schema != SCHEMA_VERSION:
-            # Unknown or missing schema: never reinterpret old entries — and
-            # that includes leftover shard files from an interrupted sharded
-            # run, which absorb_shards would otherwise merge later
-            if self.shard_output is None:
-                if entries_path.exists():
-                    entries_path.unlink()
-                for shard_file in self.shard_files():
-                    shard_file.unlink()
-                runs_path = self.path / _RUNS
-                if runs_path.exists():
-                    runs_path.unlink()
-                meta_path.write_text(json.dumps({"schema": SCHEMA_VERSION}) + "\n")
-            return
-        if entries_path.exists():
-            with entries_path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = StoreEntry.from_json(line)
-                    except (ValueError, KeyError):
-                        continue  # tolerate a torn/corrupt trailing line
-                    self._entries[entry.key] = entry
-                    self._note_cost(entry)
-        runs_path = self.path / _RUNS
-        if runs_path.exists():
-            with runs_path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if (
-                        isinstance(record, dict)
-                        and isinstance(record.get("touched"), list)
-                        and isinstance(record.get("run"), int)
-                    ):
-                        self._runs.append(record)
+        # shard children never wipe the shared store on a schema mismatch
+        # (the parent already did, or will, before forking them)
+        state = self.backend.load(wipe_mismatch=self.shard_output is None)
+        self._adopt(state)
+
+    def _adopt(self, state: LoadedState) -> None:
+        self._entries = state.entries
+        self._runs = state.runs
+        self.skipped_records += state.skipped
+        for entry in self._entries.values():
+            self._note_cost(entry)
 
     def _note_cost(self, entry: StoreEntry) -> None:
         wall = entry.wall_cost
@@ -245,6 +158,7 @@ class ObligationStore:
     def record(self, entry: StoreEntry) -> None:
         self._entries[entry.key] = entry
         self._pending.append(entry)
+        self._session_writes[entry.key] = entry
         self._touched[entry.key] = None
         self._note_cost(entry)
 
@@ -260,31 +174,44 @@ class ObligationStore:
         return self._cost_index.get(fp)
 
     def flush(self) -> None:
-        """Append pending entries to the log (or to this process's shard file)."""
+        """Append pending entries to the log (or to this process's shard file).
+
+        The backend appends the whole batch under an exclusive lock (jsonl:
+        one ``write()`` of the pre-joined lines; sqlite: one UPSERT
+        transaction), so concurrent flushes can interleave batches but never
+        the bytes of one entry.
+        """
         if not self._pending:
             return
-        target = self._output_path()
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("a", encoding="utf-8") as handle:
-            for entry in self._pending:
-                handle.write(entry.to_json() + "\n")
+        if self.shard_output is None:
+            self.backend.append_entries(self._pending)
+        else:
+            # a shard file is private to this worker process; a single
+            # appending write still keeps a torn tail from costing more than
+            # one entry if the worker is killed mid-flush
+            self.backend.shard_dir.mkdir(parents=True, exist_ok=True)
+            append_jsonl_batch(
+                self.backend.shard_dir / f"shard-{self.shard_output}.jsonl",
+                [entry.to_json() for entry in self._pending],
+            )
         self._pending.clear()
 
-    def _output_path(self) -> Path:
-        if self.shard_output is None:
-            return self.path / _ENTRIES
-        return self.path / _SHARD_DIR / f"shard-{self.shard_output}.jsonl"
-
     def compact(self) -> None:
-        """Rewrite the log with exactly the live entries (drops dead lines)."""
+        """Rewrite the log with exactly the live entries (drops dead lines).
+
+        Runs as a locked read-modify-rewrite: the on-disk state is re-read
+        under the exclusive lock and this session's writes merged over it, so
+        entries appended by a concurrent process since :meth:`_load` survive
+        the compaction instead of being lost to a stale snapshot.
+        """
         if self.shard_output is not None:
             return
-        entries_path = self.path / _ENTRIES
-        tmp_path = entries_path.with_suffix(".jsonl.tmp")
-        with tmp_path.open("w", encoding="utf-8") as handle:
-            for entry in self._entries.values():
-                handle.write(entry.to_json() + "\n")
-        tmp_path.replace(entries_path)
+
+        def merge_session(entries, runs):
+            entries.update(self._session_writes)
+            return entries, runs
+
+        self._adopt(self.backend.update(merge_session, runs=False))
         self._pending.clear()
 
     # -- dependency-tracked invalidation -------------------------------------------
@@ -298,22 +225,42 @@ class ObligationStore:
         it belongs to ``method`` and that method's spec digest changed.
         Entries of other scopes are never touched.
         """
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if entry.scope == scope
-            and (
+
+        def is_stale(entry: StoreEntry) -> bool:
+            return entry.scope == scope and (
                 entry.library != library_digest
                 or (entry.method == method and entry.spec != spec_digest)
             )
-        ]
-        for key in stale:
-            del self._entries[key]
-        if stale and self.shard_output is None:
-            # compact() rewrites the log from the live entries (pending
-            # included) and clears the pending buffer — no flush needed
-            self.compact()
-        return len(stale)
+
+        if self.shard_output is not None or not any(
+            is_stale(entry) for entry in self._entries.values()
+        ):
+            # shard children never rewrite the shared log; and when this
+            # session's view has nothing stale, skip the locked rewrite —
+            # the overwhelmingly common (warm, unedited) case stays cheap
+            stale = [key for key, entry in self._entries.items() if is_stale(entry)]
+            for key in stale:
+                del self._entries[key]
+                self._session_writes.pop(key, None)
+            return len(stale)
+
+        dropped = 0
+
+        def drop_stale(entries, runs):
+            nonlocal dropped
+            entries.update(self._session_writes)
+            stale = [key for key, entry in entries.items() if is_stale(entry)]
+            dropped = len(stale)
+            for key in stale:
+                del entries[key]
+                # an invalidated session write must not be resurrected by a
+                # later rewrite's session merge
+                self._session_writes.pop(key, None)
+            return entries, runs
+
+        self._adopt(self.backend.update(drop_stale, runs=False))
+        self._pending.clear()
+        return dropped
 
     # -- session bookkeeping (--explain) -------------------------------------------
     def note_method(
@@ -330,6 +277,7 @@ class ObligationStore:
             "hits": sum(c.hits for c in self.session.values()),
             "misses": sum(c.misses for c in self.session.values()),
             "invalidated": sum(c.invalidated for c in self.session.values()),
+            "skipped": self.skipped_records,
         }
 
     def explain(self) -> list[dict[str, object]]:
@@ -350,8 +298,11 @@ class ObligationStore:
         """Close the current session as one *run* in the persistent run log.
 
         Appends the set of entry keys this session referenced (store hits and
-        fresh writes alike) to ``runs.jsonl`` — the reference trail
-        :meth:`gc` keeps entries alive by.  Returns the number of keys
+        fresh writes alike) to the run log — the reference trail :meth:`gc`
+        keeps entries alive by.  The sequence number and the trim are
+        computed against the log as re-read under the exclusive lock, so two
+        processes committing concurrently get distinct sequence numbers and
+        neither overwrites the other's record.  Returns the number of keys
         recorded; a session that touched nothing records no run.  Shard
         workers never commit runs (the parent absorbs their entries and
         commits on their behalf).
@@ -361,15 +312,16 @@ class ObligationStore:
             return 0
         self.flush()
         touched = sorted(f"{env}:{fp}" for env, fp in self._touched)
-        sequence = (self._runs[-1]["run"] + 1) if self._runs else 1
-        self._runs.append({"run": sequence, "touched": touched})
+
+        def append_run(entries, runs):
+            sequence = (runs[-1]["run"] + 1) if runs else 1
+            runs.append({"run": sequence, "touched": touched})
+            del runs[:-_MAX_RUN_RECORDS]
+            return entries, runs
+
+        state = self.backend.update(append_run, entries=False)
+        self._runs = state.runs
         self._touched.clear()
-        if len(self._runs) > _MAX_RUN_RECORDS:
-            self._runs = self._runs[-_MAX_RUN_RECORDS:]
-        runs_path = self.path / _RUNS
-        with runs_path.open("w", encoding="utf-8") as handle:
-            for record in self._runs:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
         return len(touched)
 
     def gc(self, keep_last: int) -> int:
@@ -380,8 +332,11 @@ class ObligationStore:
         experiments leave verdicts nothing will ever look up again.  An entry
         survives iff one of the last ``keep_last`` committed runs referenced
         it (hit it or wrote it), so everything those runs warm-started from
-        still warm-starts after the sweep.  Returns the number of entries
-        dropped; older run records are dropped from the log too.
+        still warm-starts after the sweep.  The reference set and the victims
+        are computed from the state re-read under the exclusive lock —
+        entries and runs a concurrent process committed meanwhile are part of
+        the sweep, never casualties of a stale snapshot.  Returns the number
+        of entries dropped; older run records are dropped from the log too.
         """
         if keep_last < 1:
             raise ValueError("gc requires keep_last >= 1")
@@ -390,26 +345,31 @@ class ObligationStore:
         if self._touched:
             # an uncommitted session counts as the most recent run
             self.commit_run()
-        kept_runs = self._runs[-keep_last:]
-        referenced: set[tuple[str, str]] = set()
-        for record in kept_runs:
-            for key in record["touched"]:
-                env, _, fp = key.partition(":")
-                referenced.add((env, fp))
-        stale = [key for key in self._entries if key not in referenced]
-        for key in stale:
-            del self._entries[key]
-        self._runs = kept_runs
-        runs_path = self.path / _RUNS
-        with runs_path.open("w", encoding="utf-8") as handle:
-            for record in self._runs:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self.compact()
-        return len(stale)
+        dropped = 0
+
+        def sweep(entries, runs):
+            nonlocal dropped
+            entries.update(self._session_writes)
+            kept_runs = runs[-keep_last:]
+            referenced: set[tuple[str, str]] = set()
+            for record in kept_runs:
+                for key in record["touched"]:
+                    env, _, fp = key.partition(":")
+                    referenced.add((env, fp))
+            stale = [key for key in entries if key not in referenced]
+            dropped = len(stale)
+            for key in stale:
+                del entries[key]
+                self._session_writes.pop(key, None)
+            return entries, kept_runs
+
+        self._adopt(self.backend.update(sweep))
+        self._pending.clear()
+        return dropped
 
     # -- shard merging ---------------------------------------------------------------
     def shard_files(self) -> list[Path]:
-        shard_dir = self.path / _SHARD_DIR
+        shard_dir = self.backend.shard_dir
         if not shard_dir.is_dir():
             return []
 
@@ -427,22 +387,25 @@ class ObligationStore:
         Files are read in shard-index order; within a file, line order.  Shard
         assignment partitions fingerprints, so collisions only arise against
         pre-existing entries — which already carry the same content — making
-        the merge order-insensitive in value, deterministic in bytes.
+        the merge order-insensitive in value, deterministic in bytes.  A
+        shard file ending in a torn partial line (a killed worker, mid-
+        append) costs exactly the torn entry: decode failures are skipped and
+        counted (``summary()["skipped"]``), never allowed to abort the merge
+        and discard the healthy shards.
         """
         absorbed = 0
         for shard_file in self.shard_files():
-            with shard_file.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = StoreEntry.from_json(line)
-                    except (ValueError, KeyError):
-                        continue
-                    if entry.key not in self._entries:
-                        self.record(entry)
-                        absorbed += 1
+            for line in shard_file.read_bytes().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = StoreEntry.from_json(line.decode("utf-8"))
+                except ENTRY_DECODE_ERRORS:
+                    self.skipped_records += 1
+                    continue
+                if entry.key not in self._entries:
+                    self.record(entry)
+                    absorbed += 1
             shard_file.unlink()
         self.flush()
         return absorbed

@@ -42,6 +42,7 @@ def _fork_available() -> bool:
 
 def _warm_shard(
     store_path: Path,
+    store_backend: str,
     index: int,
     shards: int,
     keys: Optional[list[str]],
@@ -50,7 +51,9 @@ def _warm_shard(
     check_negative_variants: bool,
 ) -> None:
     """One forked worker: discharge this shard's obligations into a shard file."""
-    store = ObligationStore(store_path, shard_output=index)
+    # the backend is pinned explicitly: a forced backend choice in the parent
+    # (e.g. REPRO_STORE_BACKEND at parent start) must not be re-inferred here
+    store = ObligationStore(store_path, shard_output=index, backend=store_backend)
     benchmarks = [benchmark_by_key(key) for key in keys] if keys is not None else None
     # workers=1: parallelism already comes from the shard processes themselves
     shard_config = replace(config, shard=(index, shards), workers=1)
@@ -93,6 +96,9 @@ def run_sharded_evaluation(
 
     keys = [benchmark.key for benchmark in benchmarks] if benchmarks is not None else None
     store.flush()  # children read the main log; make pending entries visible
+    # an open sqlite connection must not be carried across fork() — close it
+    # here (children and the parent alike reconnect lazily on next use)
+    store.backend.close()
 
     context = multiprocessing.get_context("fork")
     processes = [
@@ -100,6 +106,7 @@ def run_sharded_evaluation(
             target=_warm_shard,
             args=(
                 store.path,
+                store.backend_name,
                 index,
                 shards,
                 keys,

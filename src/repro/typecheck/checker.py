@@ -86,6 +86,10 @@ def _default_memo() -> bool:
     return os.environ.get("REPRO_MEMO", "1") != "0"
 
 
+def _default_store_backend() -> str:
+    return os.environ.get("REPRO_STORE_BACKEND") or "auto"
+
+
 @dataclass
 class CheckerConfig:
     """Tunable knobs (mostly used by the ablation benchmarks)."""
@@ -129,6 +133,13 @@ class CheckerConfig:
     #: hashes into this shard (set by the sharded suite runner; the resulting
     #: report is only meaningful for warming an obligation store)
     shard: Optional[tuple[int, int]] = None
+    #: which persistence backend an obligation store opened for this run
+    #: uses: "auto" (infer from the store path — ``.db``/``sqlite:`` means
+    #: sqlite, a directory means jsonl), "jsonl" or "sqlite".  Purely a
+    #: transport choice: verdicts, counters and every deterministic table
+    #: are identical across backends (the store suite runs parametrised over
+    #: both).  Overridable via the REPRO_STORE_BACKEND environment variable.
+    store_backend: str = field(default_factory=_default_store_backend)
 
 
 class Checker:

@@ -32,8 +32,8 @@ def test_environment_fingerprint_separates_backends():
     assert len(set(fps.values())) == 3
 
 
-def test_warm_store_from_other_backend_is_invisible(tmp_path):
-    path = tmp_path / "store"
+def test_warm_store_from_other_backend_is_invisible(store_path):
+    path = store_path
 
     # cold run under dpll populates the store
     warm_store = ObligationStore(path)

@@ -1,0 +1,193 @@
+"""Backend selection, lossless migration, and per-backend durability corners."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.store import (
+    JsonlStoreBackend,
+    SqliteStoreBackend,
+    migrate_store,
+    resolve_store_backend,
+)
+from repro.store.obligation_store import ObligationStore, StoreEntry
+
+
+def _entry(fp, *, included=True):
+    return StoreEntry(
+        env="env1",
+        fp=fp,
+        included=included,
+        counterexample=None if included else ["put(a)", "put(a)"],
+        solver_stats={"queries": 3, "cache_hits": 1},
+        inclusion_stats={"fa_inclusion_checks": 1},
+        scope="Set/KVStore",
+        method="insert",
+        spec="s1",
+        library="l1",
+        kind="postcondition",
+        provenance="insert: postcondition",
+        cost={"wall": 0.25},
+    )
+
+
+# -- selection ---------------------------------------------------------------------
+
+
+def test_path_syntax_selects_the_backend(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+    assert resolve_store_backend(tmp_path / "fresh")[0] == "jsonl"
+    for suffix in (".db", ".sqlite", ".sqlite3"):
+        assert resolve_store_backend(tmp_path / f"store{suffix}")[0] == "sqlite"
+    name, path = resolve_store_backend(f"sqlite:{tmp_path / 'plain'}")
+    assert name == "sqlite" and path == tmp_path / "plain"
+
+
+def test_existing_paths_beat_the_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+    existing_dir = tmp_path / "dir"
+    existing_dir.mkdir()
+    assert resolve_store_backend(existing_dir)[0] == "jsonl"
+    existing_file = tmp_path / "plain-file"
+    existing_file.touch()
+    assert resolve_store_backend(existing_file)[0] == "sqlite"
+    # only a fresh, unsuffixed path defers to the environment
+    assert resolve_store_backend(tmp_path / "fresh")[0] == "sqlite"
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "jsonl")
+    assert resolve_store_backend(tmp_path / "fresh")[0] == "jsonl"
+    monkeypatch.delenv("REPRO_STORE_BACKEND")
+    assert resolve_store_backend(tmp_path / "fresh")[0] == "jsonl"
+
+
+def test_explicit_backend_argument_wins(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+    assert resolve_store_backend(tmp_path / "fresh", "jsonl")[0] == "jsonl"
+    monkeypatch.delenv("REPRO_STORE_BACKEND")
+    assert resolve_store_backend(tmp_path / "fresh", "sqlite")[0] == "sqlite"
+    assert resolve_store_backend(tmp_path / "fresh", "auto")[0] == "jsonl"
+
+
+def test_unknown_backend_names_are_rejected(tmp_path, monkeypatch):
+    with pytest.raises(ValueError, match="unknown store backend"):
+        resolve_store_backend(tmp_path / "fresh", "parquet")
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "parquet")
+    with pytest.raises(ValueError, match="REPRO_STORE_BACKEND"):
+        resolve_store_backend(tmp_path / "fresh")
+
+
+def test_backends_reject_a_mismatched_path_shape(tmp_path):
+    existing_dir = tmp_path / "dir"
+    existing_dir.mkdir()
+    with pytest.raises(ValueError, match="directory"):
+        SqliteStoreBackend(existing_dir)
+    existing_file = tmp_path / "file"
+    existing_file.touch()
+    with pytest.raises(ValueError, match="file"):
+        JsonlStoreBackend(existing_file)
+
+
+# -- migration ---------------------------------------------------------------------
+
+
+def _populate(path, backend):
+    store = ObligationStore(path, backend=backend)
+    store.record(_entry("fp1"))
+    store.record(_entry("fp2", included=False))
+    store.flush()
+    store.commit_run()
+    return store
+
+
+def test_migration_roundtrip_is_lossless(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+    jsonl_path = tmp_path / "store"
+    _populate(jsonl_path, "jsonl")
+
+    db_path = tmp_path / "store.db"
+    copied = migrate_store(jsonl_path, db_path)
+    assert copied == {"entries": 2, "runs": 1}
+    via_sqlite = ObligationStore(db_path)
+    assert via_sqlite.backend_name == "sqlite"
+
+    back_path = tmp_path / "roundtripped"
+    assert migrate_store(db_path, back_path, destination_backend="jsonl") == copied
+
+    original = ObligationStore(jsonl_path)
+    restored = ObligationStore(back_path, backend="jsonl")
+    assert {e.key: e.to_json() for e in restored} == {
+        e.key: e.to_json() for e in original
+    }, "fingerprints, verdicts, witnesses, counters and costs all travel"
+    assert restored._runs == original._runs, "the run log travels verbatim"
+    assert restored.cost_hint("fp1") == 0.25
+
+
+def test_migration_overwrites_the_destination(tmp_path):
+    _populate(tmp_path / "src", "jsonl")
+    stale = ObligationStore(tmp_path / "dst.db")
+    stale.record(_entry("leftover"))
+    stale.flush()
+    stale.backend.close()
+
+    migrate_store(tmp_path / "src", tmp_path / "dst.db")
+    assert {e.fp for e in ObligationStore(tmp_path / "dst.db")} == {"fp1", "fp2"}
+
+
+def test_migration_rejects_identical_paths(tmp_path):
+    _populate(tmp_path / "store", "jsonl")
+    with pytest.raises(ValueError, match="distinct"):
+        migrate_store(tmp_path / "store", tmp_path / "store", destination_backend="jsonl")
+
+
+# -- durability corners ------------------------------------------------------------
+
+
+def test_sqlite_store_runs_in_wal_mode(tmp_path):
+    store = ObligationStore(tmp_path / "store.db")
+    store.record(_entry("fp1"))
+    store.flush()
+    store.backend.close()
+    conn = sqlite3.connect(tmp_path / "store.db")
+    try:
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        tables = {
+            row[0]
+            for row in conn.execute("SELECT name FROM sqlite_master WHERE type='table'")
+        }
+        assert {"meta", "entries", "deps", "costs", "runs"} <= tables
+    finally:
+        conn.close()
+
+
+def test_leftover_tmp_file_from_a_crash_is_harmless(tmp_path):
+    store = ObligationStore(tmp_path / "store", backend="jsonl")
+    store.record(_entry("fp1"))
+    store.flush()
+    # a writer killed between writing the tmp file and os.replace leaves this
+    (tmp_path / "store" / "entries.jsonl.tmp").write_bytes(b'{"half": ')
+
+    reloaded = ObligationStore(tmp_path / "store", backend="jsonl")
+    assert {e.fp for e in reloaded} == {"fp1"}
+    assert reloaded.summary()["skipped"] == 0
+    reloaded.compact()  # the next rewrite simply replaces the leftover
+    assert json.loads(
+        (tmp_path / "store" / "entries.jsonl").read_text().splitlines()[0]
+    )["fp"] == "fp1"
+
+
+def test_store_summary_surfaces_corrupt_sqlite_rows(tmp_path):
+    store = ObligationStore(tmp_path / "store.db")
+    store.record(_entry("fp1"))
+    store.flush()
+    store.backend.close()
+    conn = sqlite3.connect(tmp_path / "store.db")
+    with conn:
+        conn.execute(
+            "INSERT INTO entries(env, fp, included, solver_stats, inclusion_stats)"
+            " VALUES('env1', 'torn', 1, 'not-json', '{}')"
+        )
+    conn.close()
+
+    reloaded = ObligationStore(tmp_path / "store.db")
+    assert {e.fp for e in reloaded} == {"fp1"}
+    assert reloaded.summary()["skipped"] == 1

@@ -27,9 +27,9 @@ def _verdicts(report):
     ]
 
 
-def test_sharded_run_matches_serial_byte_identical(tmp_path):
+def test_sharded_run_matches_serial_byte_identical(store_path):
     serial = run_evaluation(_subset())
-    store = ObligationStore(tmp_path / "store")
+    store = ObligationStore(store_path)
     sharded = run_sharded_evaluation(2, store, benchmarks=_subset())
 
     assert _verdicts(sharded) == _verdicts(serial)
@@ -41,7 +41,7 @@ def test_sharded_run_matches_serial_byte_identical(tmp_path):
     assert store.summary()["misses"] == 0
 
 
-def test_shard_partition_is_disjoint_and_total(tmp_path):
+def test_shard_partition_is_disjoint_and_total(tmp_path, store_backend):
     """Each obligation is discharged by exactly one shard worker."""
     cold_store = ObligationStore(tmp_path / "cold")
     run_evaluation(_subset(), store=cold_store)
@@ -73,9 +73,9 @@ def test_shard_config_partitions_discharge_work():
     )
 
 
-def test_sharded_falls_back_without_fork(tmp_path, monkeypatch):
+def test_sharded_falls_back_without_fork(store_path, monkeypatch):
     monkeypatch.setattr(shard_mod, "_fork_available", lambda: False)
-    store = ObligationStore(tmp_path / "store")
+    store = ObligationStore(store_path)
     report = run_sharded_evaluation(4, store, benchmarks=_subset())
     assert report.all_verified
     assert len(store) > 0

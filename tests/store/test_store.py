@@ -1,4 +1,9 @@
-"""Unit tests for the on-disk obligation store: layout, reload, invalidation."""
+"""Unit tests for the on-disk obligation store: layout, reload, invalidation.
+
+Backend-agnostic tests take the ``store_path`` fixture (conftest) and run
+once per persistence backend; tests that poke one backend's on-disk layout
+pin ``backend=`` explicitly.
+"""
 
 import json
 
@@ -34,14 +39,14 @@ def _entry(fp: str, *, scope="Set/KVStore", method="insert", spec="s1", lib="l1"
     )
 
 
-def test_record_flush_reload_roundtrip(tmp_path):
-    store = ObligationStore(tmp_path / "store")
+def test_record_flush_reload_roundtrip(store_path):
+    store = ObligationStore(store_path)
     store.record(_entry("fp1"))
     store.record(_entry("fp2", included=False))
     assert store.lookup("env1", "fp1") is not None
     store.flush()
 
-    reloaded = ObligationStore(tmp_path / "store")
+    reloaded = ObligationStore(store_path)
     assert len(reloaded) == 2
     entry = reloaded.lookup("env1", "fp2")
     assert entry is not None and not entry.included
@@ -51,56 +56,75 @@ def test_record_flush_reload_roundtrip(tmp_path):
     assert reloaded.lookup("env2", "fp1") is None, "environment key must isolate"
 
 
-def test_last_write_wins_and_corrupt_lines_are_tolerated(tmp_path):
-    store = ObligationStore(tmp_path / "store")
+def test_last_write_wins(store_path):
+    store = ObligationStore(store_path)
     store.record(_entry("fp1", spec="old"))
+    store.flush()
     store.record(_entry("fp1", spec="new"))
     store.flush()
-    entries_file = tmp_path / "store" / "entries.jsonl"
-    with entries_file.open("a") as handle:
-        handle.write("{not json at all\n")
-        handle.write('{"json": "but not an entry"}\n')
 
-    reloaded = ObligationStore(tmp_path / "store")
+    reloaded = ObligationStore(store_path)
     assert len(reloaded) == 1
     assert reloaded.lookup("env1", "fp1").spec == "new"
 
 
-def test_schema_mismatch_discards_old_entries(tmp_path):
-    store = ObligationStore(tmp_path / "store")
+def test_corrupt_lines_are_tolerated_and_counted(tmp_path):
+    # jsonl layout: a killed writer can leave torn/garbage lines behind
+    store = ObligationStore(tmp_path / "store", backend="jsonl")
     store.record(_entry("fp1"))
     store.flush()
-    meta = tmp_path / "store" / "meta.json"
-    meta.write_text(json.dumps({"schema": "some-other-version"}) + "\n")
+    entries_file = tmp_path / "store" / "entries.jsonl"
+    with entries_file.open("ab") as handle:
+        handle.write(b"{not json at all\n")
+        handle.write(b'{"json": "but not an entry"}\n')
+        handle.write(b'["not", "even", "a", "dict"]\n')
+        handle.write(b"\xff\xfe invalid utf-8\n")
+        handle.write(b'{"env": "env1", "fp": "torn", "inc": tr')  # torn final write
 
-    reloaded = ObligationStore(tmp_path / "store")
+    reloaded = ObligationStore(tmp_path / "store", backend="jsonl")
+    assert len(reloaded) == 1
+    assert reloaded.lookup("env1", "fp1").spec == "s1"
+    assert reloaded.summary()["skipped"] == 5, "corrupt lines are counted, not fatal"
+
+
+def test_schema_mismatch_discards_old_entries(store_path, store_backend, tamper_schema):
+    store = ObligationStore(store_path)
+    store.record(_entry("fp1"))
+    store.flush()
+    tamper_schema(store_path)
+
+    reloaded = ObligationStore(store_path)
     assert len(reloaded) == 0
-    assert json.loads(meta.read_text())["schema"] == SCHEMA_VERSION
+    if store_backend == "jsonl":
+        meta = json.loads((store_path / "meta.json").read_text())
+        assert meta["schema"] == SCHEMA_VERSION
+    # the wipe restamps the schema: the store is immediately usable again
+    reloaded.record(_entry("fp2"))
+    reloaded.flush()
+    assert len(ObligationStore(store_path)) == 1
 
 
-def test_schema_mismatch_also_purges_leftover_shard_files(tmp_path):
-    store = ObligationStore(tmp_path / "store")
+def test_schema_mismatch_also_purges_leftover_shard_files(store_path, tamper_schema):
+    store = ObligationStore(store_path)
     store.record(_entry("fp1"))
     store.flush()
     # an interrupted sharded run leaves shard files behind
-    shard = ObligationStore(tmp_path / "store", shard_output=0)
+    shard = ObligationStore(store_path, shard_output=0)
     shard.record(_entry("orphan"))
     shard.flush()
-    (tmp_path / "store" / "meta.json").write_text(
-        json.dumps({"schema": "some-other-version"}) + "\n"
-    )
+    tamper_schema(store_path)
 
-    reloaded = ObligationStore(tmp_path / "store")
+    reloaded = ObligationStore(store_path)
     assert len(reloaded) == 0
     assert reloaded.shard_files() == [], "old-schema shard files must not survive"
     assert reloaded.absorb_shards() == 0
 
 
-def test_resource_limit_errors_are_never_persisted(tmp_path, monkeypatch):
+def test_resource_limit_errors_are_never_persisted(store_path, monkeypatch):
     """Error outcomes depend on the warm-solver snapshot (run shape), so they
     must be re-discharged every run instead of being replayed from the store."""
     library = benchmark_by_key("Set/KVStore").library
-    store = ObligationStore(tmp_path / "store")
+    store = ObligationStore(store_path)
     context = StoreContext(
         scope="Set/KVStore", method="insert", spec_digest="s", library_digest="l"
     )
@@ -143,8 +167,8 @@ def test_resource_limit_errors_are_never_persisted(tmp_path, monkeypatch):
     assert fresh_outcomes[0].error == "minterm budget exceeded"  # re-discharged
 
 
-def test_invalidation_is_dependency_scoped(tmp_path):
-    store = ObligationStore(tmp_path / "store")
+def test_invalidation_is_dependency_scoped(store_path):
+    store = ObligationStore(store_path)
     store.record(_entry("set-insert", scope="Set/KVStore", method="insert", spec="s1"))
     store.record(_entry("set-mem", scope="Set/KVStore", method="mem", spec="m1"))
     store.record(_entry("stack-push", scope="Stack/KVStore", method="push", spec="p1"))
@@ -165,31 +189,48 @@ def test_invalidation_is_dependency_scoped(tmp_path):
     assert store.lookup("env1", "stack-push") is not None
 
     # invalidation rewrites the log: a reload agrees
-    reloaded = ObligationStore(tmp_path / "store")
+    reloaded = ObligationStore(store_path)
     assert {entry.fp for entry in reloaded} == {"stack-push"}
 
 
-def test_shard_output_mode_and_absorb(tmp_path):
-    main = ObligationStore(tmp_path / "store")
+def test_shard_output_mode_and_absorb(store_path):
+    main = ObligationStore(store_path)
     main.record(_entry("shared"))
     main.flush()
 
-    shard0 = ObligationStore(tmp_path / "store", shard_output=0)
+    shard0 = ObligationStore(store_path, shard_output=0)
     assert shard0.lookup("env1", "shared") is not None, "children read the main log"
     shard0.record(_entry("only-0"))
     shard0.flush()
-    shard1 = ObligationStore(tmp_path / "store", shard_output=1)
+    shard1 = ObligationStore(store_path, shard_output=1)
     shard1.record(_entry("only-1"))
     # children never rewrite the shared log, even when invalidating
     shard1.invalidate_stale("Set/KVStore", "insert", "other-spec", "l1")
     shard1.flush()
-    assert ObligationStore(tmp_path / "store").lookup("env1", "shared") is not None
+    assert ObligationStore(store_path).lookup("env1", "shared") is not None
 
-    merged = ObligationStore(tmp_path / "store")
+    merged = ObligationStore(store_path)
     assert merged.absorb_shards() == 2
     assert merged.shard_files() == [], "shard files are consumed by the merge"
-    reloaded = ObligationStore(tmp_path / "store")
+    reloaded = ObligationStore(store_path)
     assert {entry.fp for entry in reloaded} == {"shared", "only-0", "only-1"}
+
+
+def test_absorb_shards_tolerates_torn_lines(store_path):
+    main = ObligationStore(store_path)
+    shard0 = ObligationStore(store_path, shard_output=0)
+    shard0.record(_entry("good-0"))
+    shard0.flush()
+    # simulate a shard worker killed mid-write: good line, then a torn tail
+    shard_file = main.shard_files()[0]
+    with shard_file.open("ab") as handle:
+        handle.write(b"\xff partial utf-8\n")
+        handle.write(b'{"env": "env1", "fp": "torn", "inc": tr')
+
+    assert main.absorb_shards() == 1, "the intact line still merges"
+    assert main.summary()["skipped"] == 2, "torn lines are counted, not fatal"
+    reloaded = ObligationStore(store_path)
+    assert {entry.fp for entry in reloaded} == {"good-0"}
 
 
 def test_session_bookkeeping_backs_explain(tmp_path):
@@ -197,7 +238,13 @@ def test_session_bookkeeping_backs_explain(tmp_path):
     store.note_method("Set/KVStore", "insert", hits=2, misses=1, invalidated=3)
     store.note_method("Set/KVStore", "insert", hits=1)
     store.note_method("Set/KVStore", "mem", misses=4)
-    assert store.summary() == {"entries": 0, "hits": 3, "misses": 5, "invalidated": 3}
+    assert store.summary() == {
+        "entries": 0,
+        "hits": 3,
+        "misses": 5,
+        "invalidated": 3,
+        "skipped": 0,
+    }
     assert store.explain() == [
         {"scope": "Set/KVStore", "method": "insert", "hits": 3, "misses": 1, "invalidated": 3},
         {"scope": "Set/KVStore", "method": "mem", "hits": 0, "misses": 4, "invalidated": 0},

@@ -31,15 +31,22 @@ def _verdicts(report):
     ]
 
 
-@pytest.fixture(scope="module")
-def cold_and_warm(tmp_path_factory):
-    """One cold and one warm run of the fast corpus against the same store."""
+@pytest.fixture(scope="module", params=("jsonl", "sqlite"))
+def cold_and_warm(tmp_path_factory, request):
+    """One cold and one warm run of the fast corpus against the same store.
+
+    Parametrised over both persistence backends: the cold/warm acceptance
+    contract is backend-independent.  (Module-scoped, so the env is pinned
+    with a manual MonkeyPatch context rather than the function fixture.)
+    """
     path = tmp_path_factory.mktemp("obligation-store") / "store"
-    cold_store = ObligationStore(path)
-    cold = run_evaluation(include_slow=False, store=cold_store)
-    warm_store = ObligationStore(path)
-    warm = run_evaluation(include_slow=False, store=warm_store)
-    return cold, cold_store, warm, warm_store
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_STORE_BACKEND", request.param)
+        cold_store = ObligationStore(path)
+        cold = run_evaluation(include_slow=False, store=cold_store)
+        warm_store = ObligationStore(path)
+        warm = run_evaluation(include_slow=False, store=warm_store)
+        yield cold, cold_store, warm, warm_store
 
 
 def test_warm_run_answers_from_store(cold_and_warm):
@@ -93,8 +100,8 @@ def test_store_entries_carry_witness_traces(cold_and_warm):
     assert all(entry.scope and entry.method and entry.spec for entry in cold_store)
 
 
-def test_spec_edit_invalidates_only_that_benchmark(tmp_path):
-    store = ObligationStore(tmp_path / "store")
+def test_spec_edit_invalidates_only_that_benchmark(store_path):
+    store = ObligationStore(store_path)
     set_bench = benchmark_by_key("Set/KVStore")
     stack_bench = benchmark_by_key("Stack/KVStore")
     set_bench.verify_all(set_bench.make_checker(store=store))
@@ -112,7 +119,7 @@ def test_spec_edit_invalidates_only_that_benchmark(tmp_path):
     )
     edited_bench = dataclasses.replace(set_bench, specs=edited_specs)
 
-    session = ObligationStore(tmp_path / "store")
+    session = ObligationStore(store_path)
     edited_bench.verify_all(edited_bench.make_checker(store=session))
     explain = {(row["scope"], row["method"]): row for row in session.explain()}
 
@@ -127,24 +134,24 @@ def test_spec_edit_invalidates_only_that_benchmark(tmp_path):
     assert {
         entry.fp for entry in session.entries_for_scope("Stack/KVStore")
     } == stack_entries
-    warm_stack = ObligationStore(tmp_path / "store")
+    warm_stack = ObligationStore(store_path)
     stack_bench.verify_all(stack_bench.make_checker(store=warm_stack))
     assert warm_stack.summary()["misses"] == 0
     assert warm_stack.summary()["invalidated"] == 0
 
 
-def test_store_respects_environment_fingerprint(tmp_path):
+def test_store_respects_environment_fingerprint(store_path):
     """Entries recorded under one checker configuration never leak to another."""
-    store = ObligationStore(tmp_path / "store")
+    store = ObligationStore(store_path)
     bench = benchmark_by_key("Set/KVStore")
     bench.verify_all(bench.make_checker(CheckerConfig(discharge="lazy"), store=store))
 
-    other = ObligationStore(tmp_path / "store")
+    other = ObligationStore(store_path)
     bench.verify_all(bench.make_checker(CheckerConfig(discharge="compiled"), store=other))
     assert other.summary()["hits"] == 0, "a different discharge mode is a different world"
     assert other.summary()["misses"] > 0
 
     # while the original configuration still warm-starts
-    again = ObligationStore(tmp_path / "store")
+    again = ObligationStore(store_path)
     bench.verify_all(bench.make_checker(CheckerConfig(discharge="lazy"), store=again))
     assert again.summary()["misses"] == 0
