@@ -56,8 +56,14 @@ def _add_checker_flags(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--discharge",
-        choices=("lazy", "compiled"),
-        help="how leaf inclusions are decided (default: REPRO_DISCHARGE or lazy)",
+        choices=("lazy", "compiled", "batch"),
+        help=(
+            "how leaf inclusions are decided: lazy (per-obligation product "
+            "walk), compiled (reference oracle), batch (group cold "
+            "obligations by alphabet and discharge each group set-at-a-time; "
+            "verdicts/tables identical to lazy) "
+            "(default: REPRO_DISCHARGE or lazy)"
+        ),
     )
     group.add_argument(
         "--strategy",
@@ -316,6 +322,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             include_slow=args.full,
             runs=1 if args.quick else args.runs,
             config=config,
+            ab=args.ab,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -330,9 +337,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline:
         try:
             baseline = load_payload(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
             ok, messages = compare_payloads(payload, baseline, tolerance=args.tolerance)
-        except (OSError, ValueError, KeyError, TypeError) as exc:
-            print(f"error: cannot read baseline {args.baseline!r}: {exc!r}", file=sys.stderr)
+        except (ValueError, KeyError, TypeError) as exc:
+            # a malformed baseline must diagnose the offending field, not
+            # traceback (known-optional fields — e.g. a missing warm phase —
+            # are reported as messages inside compare_payloads instead)
+            print(f"error: cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
             return 2
         for message in messages:
             print(message)
@@ -450,6 +464,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         metavar="F",
         help="allowed relative cold wall-time regression vs the baseline (default: 0.2)",
+    )
+    bench.add_argument(
+        "--ab",
+        action="store_true",
+        help=(
+            "also time cold runs in the other discharge mode (batch vs lazy) "
+            "and record the comparison — including a byte-identity check of "
+            "the deterministic tables — in the payload"
+        ),
     )
     _add_checker_flags(bench)
     bench.set_defaults(func=_cmd_bench)

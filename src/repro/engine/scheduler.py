@@ -40,6 +40,7 @@ from typing import Callable, Optional, Sequence
 
 from .. import smt
 from ..sfa.alphabet import AlphabetError, AlphabetMemo
+from ..sfa.batch import discharge_group
 from ..sfa.derivatives import CompilationError, DerivativeCache
 from ..sfa.inclusion import InclusionChecker, InclusionStats
 from ..smt.solver import SolverError
@@ -77,6 +78,20 @@ class EngineStats(MergeableStats):
     cost_hints_used: int = 0
     batches: int = 0
     parallel_batches: int = 0
+    #: alphabet-sharing groups discharged set-at-a-time (``discharge="batch"``)
+    batch_groups: int = 0
+    #: obligations those groups covered (every fresh one, in batch mode)
+    batch_grouped_obligations: int = 0
+    #: SMT queries the groups actually executed (one construction per group,
+    #: zero on a memo hit) vs. what the deterministic tables bill (the
+    #: recorded construction replayed into every member) — the coalescing win
+    batch_queries_executed: int = 0
+    batch_queries_billed: int = 0
+    #: distinct AlphabetMemo keys forked workers reported building (their
+    #: entries die with the fork; the keys come back as eager-build hints)
+    worker_memo_keys: int = 0
+    #: hinted constructions the parent pre-built before forking a later batch
+    memo_eager_builds: int = 0
 
 
 @dataclass(frozen=True)
@@ -143,6 +158,8 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
         derivative_cache=params.derivative_cache,
     )
     error: Optional[str] = None
+    memo = params.alphabet_memo
+    keys_before = len(memo.session_built_keys) if memo is not None else 0
     try:
         result = checker.check_detailed(
             list(obligation.hypotheses), obligation.lhs, obligation.rhs
@@ -163,6 +180,10 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
         # the measured discharge cost: the store keeps it as an advisory
         # scheduling hint, outside every fingerprint and deterministic table
         "wall": time.perf_counter() - start,
+        # alphabet constructions this discharge ran: a forked worker's memo
+        # entries die with it, so the parent learns the *keys* and pre-builds
+        # them before the next fork (plain reuse — counters never move)
+        "memo_keys": list(memo.session_built_keys[keys_before:]) if memo is not None else [],
     }
 
 
@@ -180,6 +201,43 @@ def _discharge_index(index: int) -> dict:
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _discharge_group_payload(obligations: Sequence[Obligation], params: DischargeParams) -> dict:
+    """Discharge one alphabet-sharing group (``discharge="batch"``).
+
+    Runs in-process or on a forked worker; either way the return value is a
+    plain picklable dict: per-member results in the same shape
+    :func:`discharge_obligation` produces, the group's query-coalescing
+    record, and the memo keys this group built (the worker-reuse hints).
+    """
+    memo = params.alphabet_memo
+    assert memo is not None, "batch discharge requires a shared alphabet memo"
+    keys_before = len(memo.session_built_keys)
+    results, record = discharge_group(
+        obligations,
+        params.operators,
+        memo,
+        max_literals=params.max_literals,
+        filter_unsat=params.filter_unsat_minterms,
+        strategy=params.strategy,
+        derivative_cache=params.derivative_cache,
+    )
+    return {
+        "members": results,
+        "group": record.as_dict(),
+        "memo_keys": list(memo.session_built_keys[keys_before:]),
+    }
+
+
+#: Snapshot handed to forked *group* workers: (group payloads, params).
+_GROUP_FORK_STATE: Optional[tuple[list[list[Obligation]], DischargeParams]] = None
+
+
+def _discharge_group_index(index: int) -> dict:
+    assert _GROUP_FORK_STATE is not None, "worker invoked outside a group batch"
+    groups, params = _GROUP_FORK_STATE
+    return _discharge_group_payload(groups[index], params)
 
 
 class ObligationEngine:
@@ -209,6 +267,11 @@ class ObligationEngine:
             raise ValueError(
                 f"unknown schedule mode {schedule!r}; expected one of {SCHEDULE_MODES}"
             )
+        if discharge == "batch" and alphabet_memo is None:
+            # batch grouping IS the memo's content key; a standalone engine
+            # gets a private memo (hermetic builds + recorded bills, exactly
+            # like the checker-shared one)
+            alphabet_memo = AlphabetMemo(axioms=tuple(axioms), backend=backend)
         self.params = DischargeParams(
             operators=operators,
             axioms=tuple(axioms),
@@ -232,7 +295,12 @@ class ObligationEngine:
         self.shard = shard
         #: the semantic-environment key store entries are read/written under;
         #: worker count, shard assignment, scheduling order and the memo
-        #: layers deliberately don't participate (none changes a counter)
+        #: layers deliberately don't participate (none changes a counter).
+        #: ``batch`` keys as ``lazy``: the batch discharger produces byte-
+        #: identical verdicts and counters to the lazy oracle, so its store
+        #: entries are interchangeable — a store warmed by either mode
+        #: answers the other (``compiled`` stays distinct: its counters are
+        #: a different shape).
         self._env_fp = (
             environment_fingerprint(
                 operators,
@@ -241,7 +309,7 @@ class ObligationEngine:
                 filter_unsat_minterms=filter_unsat_minterms,
                 max_literals=max_literals,
                 strategy=strategy,
-                discharge=discharge,
+                discharge="lazy" if discharge == "batch" else discharge,
                 backend=backend,
                 library=library,
             )
@@ -249,6 +317,14 @@ class ObligationEngine:
             else None
         )
         self.stats = EngineStats()
+        #: per-group coalescing records of this engine's batch discharges:
+        #: ``{members, built, queries_executed, queries_billed, ...}`` dicts
+        #: in scheduling order (surfaced by ``repro bench`` for the A/B)
+        self.batch_group_log: list[dict] = []
+        #: AlphabetMemo keys forked workers reported building; the parent
+        #: pre-builds hinted keys before forking the next batch so the
+        #: construction is inherited copy-on-write instead of re-run per fork
+        self._eager_memo_hints: set[tuple] = set()
         #: cross-method memo: fingerprint -> (included, counterexample, error);
         #: bounded like every other cache in the pipeline
         self.max_memo_entries = 100_000
@@ -430,6 +506,8 @@ class ObligationEngine:
 
     # ------------------------------------------------------------------
     def _discharge_batch(self, obligations: list[Obligation]) -> list[dict]:
+        if self.params.discharge == "batch":
+            return self._discharge_grouped(obligations)
         if len(obligations) > 1 and self.workers > 1 and _fork_available():
             self.stats.parallel_batches += 1
             return self._discharge_parallel(obligations)
@@ -437,11 +515,110 @@ class ObligationEngine:
 
     def _discharge_parallel(self, obligations: list[Obligation]) -> list[dict]:
         global _FORK_STATE
+        self._prebuild_hinted(
+            (self._group_key(ob), ob) for ob in obligations
+        )
         context = multiprocessing.get_context("fork")
         processes = min(self.workers, len(obligations))
         _FORK_STATE = (obligations, self.params)
         try:
             with context.Pool(processes=processes) as pool:
-                return pool.map(_discharge_index, range(len(obligations)))
+                results = pool.map(_discharge_index, range(len(obligations)))
         finally:
             _FORK_STATE = None
+        self._note_worker_keys(result.get("memo_keys", ()) for result in results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Set-at-a-time batch discharge (``discharge="batch"``)
+    # ------------------------------------------------------------------
+    def _group_key(self, obligation: Obligation) -> tuple:
+        params = self.params
+        assert params.alphabet_memo is not None
+        return params.alphabet_memo.key_for(
+            list(obligation.hypotheses),
+            [obligation.lhs, obligation.rhs],
+            params.operators,
+            max_literals=params.max_literals,
+            filter_unsat=params.filter_unsat_minterms,
+            strategy=params.strategy,
+        )
+
+    def _prebuild_hinted(self, keyed_obligations) -> None:
+        """Build worker-hinted alphabet constructions in the parent.
+
+        Pure reuse: the memo's hermetic build + recorded bill means a member
+        that would have built now replays the identical counters (only the
+        volatile ``#Alph`` attribution moves), but the construction crosses
+        the next fork copy-on-write instead of being re-run in every worker.
+        """
+        memo = self.params.alphabet_memo
+        if memo is None or not memo.enabled or not self._eager_memo_hints:
+            return
+        for key, obligation in keyed_obligations:
+            if key in self._eager_memo_hints and key not in memo:
+                memo.alphabets_for(
+                    list(obligation.hypotheses),
+                    [obligation.lhs, obligation.rhs],
+                    self.params.operators,
+                    max_literals=self.params.max_literals,
+                    filter_unsat=self.params.filter_unsat_minterms,
+                    strategy=self.params.strategy,
+                )
+                self.stats.memo_eager_builds += 1
+
+    def _note_worker_keys(self, key_lists) -> None:
+        for keys in key_lists:
+            for key in keys:
+                if key not in self._eager_memo_hints:
+                    self._eager_memo_hints.add(key)
+                    self.stats.worker_memo_keys += 1
+        if len(self._eager_memo_hints) > 4096:
+            self._eager_memo_hints.clear()
+
+    def _discharge_grouped(self, obligations: list[Obligation]) -> list[dict]:
+        """Group fresh obligations by alphabet key; discharge set-at-a-time.
+
+        Groups keep the scheduler's first-occurrence order, and the returned
+        list is aligned with ``obligations`` — callers cannot tell this apart
+        from per-obligation discharge except by wall-clock time and the
+        ``batch_*`` bookkeeping (every counter is byte-identical to lazy).
+        """
+        if not obligations:
+            return []
+        groups: dict[tuple, list[int]] = {}
+        for position, obligation in enumerate(obligations):
+            groups.setdefault(self._group_key(obligation), []).append(position)
+        ordered = list(groups.items())
+        payloads = [[obligations[i] for i in members] for _, members in ordered]
+        if len(payloads) > 1 and self.workers > 1 and _fork_available():
+            self._prebuild_hinted(
+                (key, payload[0]) for (key, _), payload in zip(ordered, payloads)
+            )
+            self.stats.parallel_batches += 1
+            outs = self._discharge_groups_parallel(payloads)
+            self._note_worker_keys(out.get("memo_keys", ()) for out in outs)
+        else:
+            outs = [_discharge_group_payload(payload, self.params) for payload in payloads]
+        results: list[Optional[dict]] = [None] * len(obligations)
+        for (_, members), out in zip(ordered, outs):
+            for position, member_result in zip(members, out["members"]):
+                results[position] = member_result
+            record = out["group"]
+            self.batch_group_log.append(record)
+            self.stats.batch_groups += 1
+            self.stats.batch_grouped_obligations += record["members"]
+            self.stats.batch_queries_executed += record["queries_executed"]
+            self.stats.batch_queries_billed += record["queries_billed"]
+        return results
+
+    def _discharge_groups_parallel(self, payloads: list[list[Obligation]]) -> list[dict]:
+        global _GROUP_FORK_STATE
+        context = multiprocessing.get_context("fork")
+        processes = min(self.workers, len(payloads))
+        _GROUP_FORK_STATE = (payloads, self.params)
+        try:
+            with context.Pool(processes=processes) as pool:
+                return pool.map(_discharge_group_index, range(len(payloads)))
+        finally:
+            _GROUP_FORK_STATE = None

@@ -29,6 +29,9 @@ class EvaluationReport:
     adt_stats: list[AdtStats] = field(default_factory=list)
     negative_results: list[NegativeResult] = field(default_factory=list)
     total_time_seconds: float = 0.0
+    #: per-benchmark run diagnostics (:meth:`Checker.run_diagnostics`):
+    #: cache hit/eviction rates and the batch grouper's per-group records
+    diagnostics: list[dict] = field(default_factory=list)
 
     @property
     def all_verified(self) -> bool:
@@ -37,6 +40,21 @@ class EvaluationReport:
     @property
     def all_negatives_rejected(self) -> bool:
         return all(result.rejected for result in self.negative_results)
+
+    def cache_totals(self) -> dict[str, int]:
+        """Summed cache counters across the corpus (the bench caches block)."""
+        totals: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            for key, value in diagnostic.get("caches", {}).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def batch_group_records(self) -> list[dict]:
+        """Every batch group discharged, in corpus order (empty in lazy mode)."""
+        records: list[dict] = []
+        for diagnostic in self.diagnostics:
+            records.extend(diagnostic.get("batch_groups", ()))
+        return records
 
     def per_method_rows(self) -> list[dict[str, object]]:
         rows: list[dict[str, object]] = []
@@ -60,11 +78,14 @@ def run_benchmark(
     config: Optional[CheckerConfig] = None,
     check_negative_variants: bool = True,
     store=None,
+    diagnostics_sink: Optional[list] = None,
 ) -> tuple[AdtStats, list[NegativeResult]]:
     """Verify one ADT/library row plus its known-bad variants.
 
     ``store`` is an optional :class:`repro.store.ObligationStore`: discharged
     obligations are written back to it and later runs answer from it.
+    ``diagnostics_sink``, when given, receives the checker's run diagnostics
+    (cache rates, batch group records) once the benchmark is done.
     """
     checker = benchmark.make_checker(config, store=store)
     stats = benchmark.verify_all(checker)
@@ -80,6 +101,8 @@ def run_benchmark(
                     error=result.error,
                 )
             )
+    if diagnostics_sink is not None:
+        diagnostics_sink.append({"benchmark": benchmark.key, **checker.run_diagnostics()})
     return stats, negatives
 
 
@@ -102,6 +125,7 @@ def run_evaluation(
             config=config,
             check_negative_variants=check_negative_variants,
             store=store,
+            diagnostics_sink=report.diagnostics,
         )
         report.adt_stats.append(stats)
         report.negative_results.extend(negatives)

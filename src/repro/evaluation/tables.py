@@ -40,6 +40,7 @@ TABLE1_COLUMNS = [
     "#Alph",
     "#Prod",
     "#Store",
+    "#Batch",
     "avg. sFA",
     "tSAT (s)",
     "tFA⊆ (s)",
@@ -146,6 +147,7 @@ TABLE34_COLUMNS = [
     "#Prod",
     "sFAbuilt",
     "#Store",
+    "#Batch",
     "avg. sFA",
     "tSAT (s)",
     "tInc (s)",

@@ -23,6 +23,7 @@ import platform
 import sys
 import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional
 
@@ -56,11 +57,39 @@ def _aggregate_counters(report: EvaluationReport) -> dict:
         for result in stats.method_results:
             for field in _COUNTER_FIELDS:
                 totals[field] += getattr(result.stats, field)
+    # the cross-obligation reuse layers' own rates (cache/memo hit and
+    # eviction counts) — reuse bookkeeping, so advisory in comparisons, but
+    # they answer "is the memo actually earning its keep?" from the payload
+    totals.update(report.cache_totals())
     return totals
 
 
-def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: list) -> dict:
+def _batch_group_summary(report: EvaluationReport) -> Optional[dict]:
+    """The query-coalescing record of a batch-mode run (None in lazy mode).
+
+    ``queries_billed`` is what the deterministic tables charge (the recorded
+    construction bill replayed per member — what fully-parallel lazy
+    executes); ``queries_executed`` is what the grouped run actually ran.
+    Every multi-member group must execute strictly fewer than it bills.
+    """
+    records = report.batch_group_records()
+    if not records:
+        return None
+    multi = [record for record in records if record["members"] > 1]
     return {
+        "groups": len(records),
+        "grouped_obligations": sum(record["members"] for record in records),
+        "multi_member_groups": len(multi),
+        "queries_executed": sum(record["queries_executed"] for record in records),
+        "queries_billed": sum(record["queries_billed"] for record in records),
+        "multi_groups_strictly_fewer": all(
+            record["queries_executed"] < record["queries_billed"] for record in multi
+        ),
+    }
+
+
+def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: list) -> dict:
+    payload = {
         "wall_seconds": round(wall_seconds, 4),
         "wall_seconds_all_runs": [round(w, 4) for w in all_walls],
         "all_verified": report.all_verified,
@@ -76,6 +105,10 @@ def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: lis
             "table4": table4(report, deterministic=True),
         },
     }
+    batch_summary = _batch_group_summary(report)
+    if batch_summary is not None:
+        payload["batch_groups"] = batch_summary
+    return payload
 
 
 def run_bench(
@@ -84,6 +117,7 @@ def run_bench(
     runs: int = 3,
     config: Optional[CheckerConfig] = None,
     store_path: Optional[str] = None,
+    ab: bool = False,
 ) -> dict:
     """Run the corpus cold and warm; return the BENCH payload.
 
@@ -91,6 +125,11 @@ def run_bench(
     the usual benchmarking convention, since noise only ever adds time.  The
     warm phase reuses a store populated by one extra cold pass (kept out of
     the timings) so its wall time measures pure store-replay speed.
+
+    ``ab=True`` additionally times cold runs in the *other* discharge mode
+    (batch when the config says lazy and vice versa) and records the
+    comparison — wall times plus a byte-identity check over the
+    deterministic tables — under the payload's ``"ab"`` key.
     """
     if runs < 1:
         raise ValueError("bench requires runs >= 1")
@@ -149,6 +188,30 @@ def run_bench(
         "cold": _phase_payload(cold_report, min(cold_walls), cold_walls),
         "warm": _phase_payload(warm_report, min(warm_walls), warm_walls),
     }
+    if ab:
+        other = "batch" if config.discharge != "batch" else "lazy"
+        ab_config = replace(config, discharge=other)
+        ab_walls: list[float] = []
+        ab_report: Optional[EvaluationReport] = None
+        for _ in range(runs):
+            start = time.perf_counter()
+            report = run_evaluation(include_slow=include_slow, config=ab_config)
+            wall = time.perf_counter() - start
+            ab_walls.append(wall)
+            if ab_report is None or wall <= min(ab_walls):
+                ab_report = report
+        assert ab_report is not None
+        ab_phase = _phase_payload(ab_report, min(ab_walls), ab_walls)
+        payload["ab"] = {
+            "discharge": other,
+            "cold": ab_phase,
+            # the batch≡lazy contract, checked on the spot: both modes must
+            # render byte-identical deterministic tables over this corpus
+            "tables_identical": (
+                ab_phase["tables_deterministic"]
+                == payload["cold"]["tables_deterministic"]
+            ),
+        }
     return payload
 
 
@@ -172,7 +235,13 @@ def compare_payloads(
     """
     messages: list[str] = []
     ok = True
-    base_cold = float(baseline["cold"]["wall_seconds"])
+    base_cold_phase = baseline.get("cold")
+    if not isinstance(base_cold_phase, dict) or "wall_seconds" not in base_cold_phase:
+        raise ValueError(
+            "baseline payload records no cold wall time "
+            "(missing 'cold.wall_seconds'); re-record it with `repro bench --output`"
+        )
+    base_cold = float(base_cold_phase["wall_seconds"])
     cur_cold = float(current["cold"]["wall_seconds"])
     budget = base_cold * (1.0 + tolerance)
     delta = (cur_cold - base_cold) / base_cold if base_cold > 0 else 0.0
@@ -183,9 +252,21 @@ def compare_payloads(
     )
     if cur_cold > budget:
         ok = False
-    base_warm = baseline.get("warm", {}).get("wall_seconds")
+    base_warm_phase = baseline.get("warm")
+    base_warm = (
+        base_warm_phase.get("wall_seconds")
+        if isinstance(base_warm_phase, dict)
+        else None
+    )
     cur_warm = current.get("warm", {}).get("wall_seconds")
-    if base_warm is not None and cur_warm is not None:
+    if base_warm is None:
+        # a degraded but legal baseline (e.g. hand-trimmed, or from a tool
+        # version without a warm phase): say so instead of KeyError-ing
+        messages.append(
+            "baseline records no warm wall time (no 'warm.wall_seconds' field); "
+            "warm drift not compared"
+        )
+    elif cur_warm is not None:
         messages.append(
             f"warm wall: {float(cur_warm):.3f}s vs baseline {float(base_warm):.3f}s (advisory)"
         )
@@ -217,4 +298,28 @@ def summarize(payload: dict) -> str:
         f"alphabet builds={counters['alphabet_builds']}  "
         f"memo hits={counters['alphabet_memo_hits']}  prod states={counters['prod_states']}",
     ]
+    if "derivative_cache_hits" in counters:
+        lines.append(
+            f"  caches: derivative {counters['derivative_cache_hits']} hits / "
+            f"{counters.get('derivative_cache_misses', 0)} misses "
+            f"({counters.get('derivative_cache_evictions', 0)} evictions)  "
+            f"alphabet memo {counters.get('alphabet_memo_replays', 0)} replays / "
+            f"{counters.get('alphabet_memo_builds', 0)} builds "
+            f"({counters.get('alphabet_memo_evictions', 0)} evictions)"
+        )
+    groups = cold.get("batch_groups")
+    if groups:
+        lines.append(
+            f"  batch: {groups['groups']} groups over "
+            f"{groups['grouped_obligations']} obligations  "
+            f"queries {groups['queries_executed']} executed vs "
+            f"{groups['queries_billed']} billed  "
+            f"(multi-member strictly fewer: {groups['multi_groups_strictly_fewer']})"
+        )
+    ab = payload.get("ab")
+    if ab:
+        lines.append(
+            f"  A/B {ab['discharge']}: cold {ab['cold']['wall_seconds']:.3f}s  "
+            f"deterministic tables identical={ab['tables_identical']}"
+        )
     return "\n".join(lines)

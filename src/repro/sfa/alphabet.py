@@ -515,9 +515,45 @@ class AlphabetMemo:
         self.hits = 0
         self.evictions = 0
         self._entries: dict[tuple, AlphabetBuild] = {}
+        #: every key this memo *built* (not replayed), in build order — the
+        #: engine slices it around a discharge to learn which constructions a
+        #: forked worker ran, since the worker's memo entries themselves die
+        #: with the fork (copy-on-write)
+        self.session_built_keys: list[tuple] = []
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def key_for(
+        self,
+        hypotheses: Sequence[Term],
+        formulas: Sequence[Sfa],
+        operators: OperatorRegistry,
+        *,
+        extra_context_literals: Iterable[Term] = (),
+        max_literals: Optional[int] = None,
+        filter_unsat: bool = True,
+        strategy: str = "guided",
+    ) -> tuple:
+        """The content key :meth:`alphabets_for` would file this query under.
+
+        Exposed so the batch discharger can group obligations that share one
+        alphabet construction without building anything: the key is a pure
+        function of the (cheap, syntactic) literal sets plus the enumeration
+        budget, and it is a plain tuple of ints/strings — picklable, so
+        forked workers can report the keys they built back to the parent.
+        """
+        literal_sets = collect_literals(formulas, operators, extra_context_literals)
+        return self._key(
+            hypotheses,
+            literal_sets,
+            max_literals=max_literals,
+            filter_unsat=filter_unsat,
+            strategy=strategy,
+        )
 
     def _key(
         self,
@@ -589,6 +625,7 @@ class AlphabetMemo:
                 solver_stats=solver.stats,
             )
             self.builds += 1
+            self.session_built_keys.append(key)
             if self.enabled:
                 if len(self._entries) >= self.max_entries:
                     self._entries.clear()

@@ -54,7 +54,11 @@ from .signatures import OperatorRegistry
 from .symbolic import BOT, Sfa
 
 #: The supported values of ``InclusionChecker(..., discharge=...)``.
-DISCHARGE_MODES = ("lazy", "compiled")
+#: ``batch`` only changes how the *engine* schedules cold obligations
+#: (set-at-a-time groups, :mod:`repro.sfa.batch`); for the inline checks this
+#: class serves directly it is identical to ``lazy`` — deliberately, since
+#: batch mode must produce byte-identical verdicts and counters to lazy.
+DISCHARGE_MODES = ("lazy", "compiled", "batch")
 
 
 @dataclass
@@ -227,9 +231,11 @@ class InclusionChecker:
 
     # -- per-context-case check ---------------------------------------------------------
     def _check_under_alphabet(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
-        if self.discharge == "lazy":
-            return self._check_lazy(lhs, rhs, alphabet)
-        return self._check_compiled(lhs, rhs, alphabet)
+        if self.discharge == "compiled":
+            return self._check_compiled(lhs, rhs, alphabet)
+        # "lazy" and "batch": batching happens at the engine's grouping
+        # layer, a single inclusion query has no siblings to share with
+        return self._check_lazy(lhs, rhs, alphabet)
 
     def _check_lazy(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
         start = time.perf_counter()

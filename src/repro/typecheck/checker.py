@@ -225,6 +225,36 @@ class Checker:
         self._obligations: Optional[ObligationSet] = None
 
     # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def run_diagnostics(self) -> dict:
+        """Run-level reuse/batching diagnostics (not per-method counters).
+
+        Cache hit/eviction rates and the batch grouper's per-group records —
+        the numbers ``repro bench`` surfaces in its aggregate block.  All of
+        it is reuse bookkeeping: none of these values feeds a deterministic
+        table.
+        """
+        derivative = self.derivative_cache
+        memo = self.alphabet_memo
+        engine = self.obligation_engine
+        return {
+            "caches": {
+                "derivative_cache_hits": derivative.hits if derivative else 0,
+                "derivative_cache_misses": derivative.misses if derivative else 0,
+                "derivative_cache_evictions": derivative.evictions if derivative else 0,
+                "alphabet_memo_builds": memo.builds,
+                # the memo object's own hit counter ("replays" — a hit
+                # replays the recorded bill), distinct from the per-method
+                # alphabet_memo_hits attribution summed into the tables
+                "alphabet_memo_replays": memo.hits,
+                "alphabet_memo_evictions": memo.evictions,
+            },
+            "batch_groups": [dict(record) for record in engine.batch_group_log],
+            "engine": engine.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def check_method(
@@ -343,6 +373,7 @@ class Checker:
             prod_states=inclusion_after.prod_states - inclusion_before.prod_states,
             states_built=inclusion_after.states_built - inclusion_before.states_built,
             store_hits=engine_after.store_hits - engine_before.store_hits,
+            batch_groups=engine_after.batch_groups - engine_before.batch_groups,
             smt_time_seconds=solver_after.time_seconds - solver_before.time_seconds,
             fa_time_seconds=inclusion_after.fa_time_seconds - inclusion_before.fa_time_seconds,
             total_time_seconds=time.perf_counter() - start,

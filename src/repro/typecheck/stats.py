@@ -38,6 +38,11 @@ class MethodStats:
     states_built: int = 0
     #: obligations answered by the persistent store (warm start, #Store)
     store_hits: int = 0
+    #: alphabet-sharing groups discharged set-at-a-time (#Batch — volatile
+    #: like #Store/#Alph: 0 under ``discharge="lazy"``, 0 on a warm run, and
+    #: otherwise a function of which obligations were still cold; the group
+    #: members' counters themselves are byte-identical to lazy discharge)
+    batch_groups: int = 0
     average_fa_size: float = 0.0
     smt_time_seconds: float = 0.0
     fa_time_seconds: float = 0.0
@@ -58,6 +63,7 @@ class MethodStats:
             "#Prod": self.prod_states,
             "sFAbuilt": self.states_built,
             "#Store": self.store_hits,
+            "#Batch": self.batch_groups,
             "avg. sFA": round(self.average_fa_size, 1),
             "tSAT (s)": round(self.smt_time_seconds, 2),
             "tInc (s)": round(self.fa_time_seconds, 2),
@@ -71,11 +77,13 @@ class MethodStats:
 
     #: columns excluded from cold-vs-warm/worker-count determinism
     #: comparisons: the time columns, plus #Store (by design 0 on a cold run
-    #: and >0 on a warm one) and #Alph (how many alphabet constructions a
+    #: and >0 on a warm one), #Alph (how many alphabet constructions a
     #: method *ran* depends on what the shared cross-obligation memo already
     #: held — the memo replays recorded counters, so everything else is
-    #: deterministic, but the build count itself is reuse bookkeeping)
-    VOLATILE_COLUMNS = TIME_COLUMNS + ("#Store", "#Alph")
+    #: deterministic, but the build count itself is reuse bookkeeping) and
+    #: #Batch (set-at-a-time groups formed: 0 in lazy mode and on warm runs,
+    #: reuse bookkeeping like #Alph in batch mode)
+    VOLATILE_COLUMNS = TIME_COLUMNS + ("#Store", "#Alph", "#Batch")
 
     #: solver-internal columns: deterministic for a *fixed* backend (they
     #: participate in cold-vs-warm and worker-count comparisons) but
@@ -162,6 +170,7 @@ class AdtStats:
                     "#Alph": hardest.stats.alphabet_builds,
                     "#Prod": hardest.stats.prod_states,
                     "#Store": hardest.stats.store_hits,
+                    "#Batch": hardest.stats.batch_groups,
                     "avg. sFA": round(hardest.stats.average_fa_size, 1),
                     "tSAT (s)": round(hardest.stats.smt_time_seconds, 2),
                     "tFA⊆ (s)": round(hardest.stats.fa_time_seconds, 2),

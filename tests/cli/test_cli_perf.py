@@ -57,6 +57,36 @@ def test_bench_structurally_incomplete_baseline_exits_two(capsys, tmp_path):
     assert "cannot read baseline" in capsys.readouterr().err
 
 
+def test_bench_baseline_missing_warm_wall_is_advisory(capsys, tmp_path):
+    """An old baseline without warm numbers compares cold only, with a note."""
+    out_path = tmp_path / "bench.json"
+    assert cli_main(["bench", "--quick", "--output", str(out_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    del payload["warm"]["wall_seconds"]
+    out_path.write_text(json.dumps(payload))
+    assert (
+        cli_main(["bench", "--quick", "--baseline", str(out_path), "--tolerance", "5"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "cold wall" in out
+    assert "no warm wall time" in out
+
+
+def test_bench_ab_compares_batch_against_lazy(capsys, tmp_path):
+    """``--ab`` runs the other discharge mode cold and reports whether the
+    deterministic tables are identical (the batch exactness contract)."""
+    out_path = tmp_path / "bench.json"
+    assert cli_main(["bench", "--quick", "--ab", "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "A/B" in out
+    assert "deterministic tables identical=True" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["ab"]["discharge"] in ("lazy", "batch")
+    assert payload["ab"]["tables_identical"] is True
+
+
 def test_bench_rejects_zero_runs(capsys):
     assert cli_main(["bench", "--runs", "0"]) == 2
     assert "runs >= 1" in capsys.readouterr().err
