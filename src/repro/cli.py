@@ -26,11 +26,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from .engine.scheduler import SCHEDULE_MODES
 from .evaluation import render_all, report_json, run_evaluation, table1, table2, table3, table4
+from .obs import trace as obs_trace
+from .obs.logs import configure_logging
 from .smt.backends import known_backends, resolve_backend
 from .store.backends import KNOWN_STORE_BACKENDS, migrate_store, resolve_store_backend
 from .store.obligation_store import ObligationStore
@@ -90,6 +94,28 @@ def _add_checker_flags(parser: argparse.ArgumentParser) -> None:
         help=(
             "disable cross-obligation alphabet/derivative reuse (ablation; "
             "counters and tables are identical either way, only time moves)"
+        ),
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "write a structured span trace of the run to PATH: .jsonl → the "
+            "native JSONL schema, anything else → Chrome trace-event JSON "
+            "loadable in Perfetto (default: REPRO_TRACE)"
+        ),
+    )
+    group.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help=(
+            "emit repro.* logger breadcrumbs at LEVEL (debug, info, warning, "
+            "...) on stderr, tagged with the innermost open trace span "
+            "(default: REPRO_LOG_LEVEL, or silent)"
         ),
     )
 
@@ -192,6 +218,17 @@ def _finish_store(store: Optional[ObligationStore]) -> None:
         store.commit_run()
 
 
+def _note_trace_counters(caches: dict) -> None:
+    """Stash run-level cache totals on the active tracer, if any.
+
+    They land in the trace file's trailing ``counters`` record, which is
+    what ``repro trace report`` prints its cache-rate block from.
+    """
+    tracer = obs_trace.active()
+    if tracer is not None:
+        tracer.counters = {"caches": caches}
+
+
 def _print_store_report(store: ObligationStore, explain: bool) -> None:
     summary = store.summary()
     skipped = (
@@ -242,6 +279,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "VERIFIED" if result.verified else f"REJECTED: {result.error}"
         print(f"{benchmark.key}.{args.method}: {status}")
         print(f"  {result.stats.as_row()}")
+        _note_trace_counters(checker.run_diagnostics()["caches"])
         _finish_store(store)
         if store is not None:
             _print_store_report(store, args.explain)
@@ -251,6 +289,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "ok" if result.verified else f"FAILED ({result.error})"
         print(f"  {result.method:>20}: {status}")
     print(f"{benchmark.key}: all verified = {stats.all_verified}")
+    _note_trace_counters(checker.run_diagnostics()["caches"])
     _finish_store(store)
     if store is not None:
         _print_store_report(store, args.explain)
@@ -268,6 +307,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
     else:
         report = run_evaluation(include_slow=not args.fast, config=config, store=store)
+    _note_trace_counters(report.cache_totals())
     _finish_store(store)
     ok = report.all_verified and report.all_negatives_rejected
     if args.json:
@@ -294,6 +334,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     store = _open_store(args, config)
     report = run_evaluation(include_slow=not args.fast, config=config, store=store)
+    _note_trace_counters(report.cache_totals())
     _finish_store(store)
     if args.json:
         from .evaluation.tables import TABLE3_ADTS, TABLE4_ADTS
@@ -352,6 +393,71 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(message)
         return 0 if ok else 1
     return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from .obs.report import analyze_trace, render_report
+    from .obs.trace import read_trace
+
+    try:
+        data = read_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(data, top=args.top))
+    if args.min_coverage is not None:
+        coverage = analyze_trace(data)["coverage"]
+        if coverage < args.min_coverage:
+            print(
+                f"error: attributed coverage {coverage:.1%} is below the "
+                f"required {args.min_coverage:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    from .obs.schema import validate_trace_file
+
+    errors = validate_trace_file(args.path)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid trace (schema {obs_trace.TRACE_SCHEMA})")
+    return 0
+
+
+def _cmd_trace_overhead(args: argparse.Namespace) -> int:
+    """Measure tracer overhead: traced vs untraced cold fast-corpus evaluate.
+
+    Best-of-N on each side (same damping the bench harness uses) so scheduler
+    noise doesn't read as tracer cost; exit 1 when the relative overhead
+    exceeds the tolerance — the CI trace-smoke gate.
+    """
+    config = _config_from_args(args)
+    # one unmeasured warmup so import/JIT-ish first-run costs hit neither side
+    run_evaluation(include_slow=False, config=config)
+    best: dict[str, float] = {}
+    for label, traced in (("untraced", False), ("traced", True)):
+        walls = []
+        for _ in range(args.runs):
+            if traced:
+                obs_trace.install(obs_trace.Tracer())
+            try:
+                started = time.perf_counter()
+                run_evaluation(include_slow=False, config=config)
+                walls.append(time.perf_counter() - started)
+            finally:
+                if traced:
+                    obs_trace.uninstall()
+        best[label] = min(walls)
+    overhead = best["traced"] / best["untraced"] - 1.0
+    print(f"untraced cold evaluate (best of {args.runs}): {best['untraced']:.3f}s")
+    print(f"traced   cold evaluate (best of {args.runs}): {best['traced']:.3f}s")
+    print(f"tracer overhead: {overhead:+.1%} (tolerance {args.tolerance:.0%})")
+    return 0 if overhead <= args.tolerance else 1
 
 
 def _cmd_store_gc(args: argparse.Namespace) -> int:
@@ -417,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         check.add_argument("--method", help="verify a single method only")
         _add_checker_flags(check)
         _add_store_flags(check)
+        _add_obs_flags(check)
         check.set_defaults(func=_cmd_check)
 
     evaluate = sub.add_parser("evaluate", help="run the full evaluation")
@@ -431,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--json", action="store_true", help="emit a machine-readable report")
     _add_checker_flags(evaluate)
     _add_store_flags(evaluate)
+    _add_obs_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     bench = sub.add_parser(
@@ -533,7 +641,56 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--json", action="store_true", help="emit the rows as JSON")
     _add_checker_flags(table)
     _add_store_flags(table)
+    _add_obs_flags(table)
     table.set_defaults(func=_cmd_table)
+
+    tracecmd = sub.add_parser("trace", help="inspect, validate and gate trace files")
+    trace_sub = tracecmd.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="phase breakdown, slowest obligations and cache rates of a trace",
+    )
+    trace_report.add_argument("path", help="trace file (.jsonl or Chrome trace-event JSON)")
+    trace_report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest obligations to list, keyed by store fingerprint (default: 10)",
+    )
+    trace_report.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="F",
+        help="exit 1 unless attributed spans cover at least this fraction of wall time",
+    )
+    trace_report.set_defaults(func=_cmd_trace_report)
+    trace_validate = trace_sub.add_parser(
+        "validate", help="check a trace file against the span schema"
+    )
+    trace_validate.add_argument("path", help="trace file (.jsonl or Chrome trace-event JSON)")
+    trace_validate.set_defaults(func=_cmd_trace_validate)
+    trace_overhead = trace_sub.add_parser(
+        "overhead",
+        help="measure tracer overhead (traced vs untraced cold fast-corpus evaluate)",
+    )
+    trace_overhead.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing runs per side; the best run on each side is compared (default: 3)",
+    )
+    trace_overhead.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="F",
+        help="allowed relative traced-vs-untraced overhead (default: 0.10)",
+    )
+    _add_checker_flags(trace_overhead)
+    trace_overhead.set_defaults(func=_cmd_trace_overhead)
 
     return parser
 
@@ -541,6 +698,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        configure_logging(getattr(args, "log_level", None))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace_path = getattr(args, "trace", None) or os.environ.get(obs_trace.ENV_TRACE)
+    if trace_path:
+        with obs_trace.session(trace_path, meta={"command": args.command}):
+            status = args.func(args)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+        return status
     return args.func(args)
 
 

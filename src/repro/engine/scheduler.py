@@ -39,6 +39,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from .. import smt
+from ..obs import trace
+from ..obs.logs import get_logger
+from ..obs.postmortem import dump_postmortem
 from ..sfa.alphabet import AlphabetError, AlphabetMemo
 from ..sfa.batch import discharge_group
 from ..sfa.derivatives import CompilationError, DerivativeCache
@@ -55,6 +58,8 @@ from .obligations import DischargeOutcome, Obligation, ObligationSet
 #: ``auto`` picks the cost model with LPT under a pool and cheapest-first
 #: serially; the explicit modes exist for ablations and the determinism suite.
 SCHEDULE_MODES = ("auto", "syntactic", "cost", "lpt")
+
+logger = get_logger("engine")
 
 
 @dataclass
@@ -140,6 +145,20 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
     the reported query counts, so any sibling-dependent sharing would leak
     scheduling order into the tables.
     """
+    spans_mark = trace.mark()
+    if trace.enabled():
+        # the digest is memoised on the frozen obligation and strictly
+        # volatile here: it keys the span so the report correlates with
+        # `repro store` entries, never the other way around
+        discharge_span = trace.span(
+            "discharge",
+            cat="discharge",
+            obligation_fp=obligation_digest(obligation),
+            kind=obligation.kind,
+            mode=params.discharge,
+        )
+    else:
+        discharge_span = trace.span("discharge")
     start = time.perf_counter()
     solver = smt.Solver(
         axioms=list(params.axioms),
@@ -161,17 +180,31 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
     memo = params.alphabet_memo
     keys_before = len(memo.session_built_keys) if memo is not None else 0
     try:
-        result = checker.check_detailed(
-            list(obligation.hypotheses), obligation.lhs, obligation.rhs
+        with discharge_span:
+            try:
+                result = checker.check_detailed(
+                    list(obligation.hypotheses), obligation.lhs, obligation.rhs
+                )
+                included, counterexample = result.included, result.counterexample
+            except (AlphabetError, CompilationError, SolverError) as exc:
+                # The walk deliberately continues past failing obligations, so
+                # later emissions can sit on contexts the old inline design
+                # never reached; a resource limit there must become a
+                # reportable failure, not an exception (which, under a pool,
+                # would also discard sibling results).
+                included, counterexample, error = False, None, str(exc)
+    except Exception as exc:  # unexpected: capture context, then propagate
+        dump_postmortem(
+            exc,
+            obligation_fp=obligation_digest(obligation),
+            context={
+                "kind": obligation.kind,
+                "provenance": obligation.provenance,
+                "mode": params.discharge,
+            },
         )
-        included, counterexample = result.included, result.counterexample
-    except (AlphabetError, CompilationError, SolverError) as exc:
-        # The walk deliberately continues past failing obligations, so later
-        # emissions can sit on contexts the old inline design never reached;
-        # a resource limit there must become a reportable failure, not an
-        # exception (which, under a pool, would also discard sibling results).
-        included, counterexample, error = False, None, str(exc)
-    return {
+        raise
+    payload = {
         "included": included,
         "counterexample": counterexample,
         "error": error,
@@ -185,6 +218,13 @@ def discharge_obligation(obligation: Obligation, params: DischargeParams) -> dic
         # them before the next fork (plain reuse — counters never move)
         "memo_keys": list(memo.session_built_keys[keys_before:]) if memo is not None else [],
     }
+    # spans ride home in the result dict exactly like the stats do: drained
+    # here (a forked worker's buffer dies with it) and re-ingested by the
+    # engine under this worker's pid
+    worker_spans = trace.drain(spans_mark)
+    if worker_spans:
+        payload["spans"] = worker_spans
+    return payload
 
 
 #: Snapshot handed to forked workers: (obligations, params).  Set immediately
@@ -214,20 +254,47 @@ def _discharge_group_payload(obligations: Sequence[Obligation], params: Discharg
     memo = params.alphabet_memo
     assert memo is not None, "batch discharge requires a shared alphabet memo"
     keys_before = len(memo.session_built_keys)
-    results, record = discharge_group(
-        obligations,
-        params.operators,
-        memo,
-        max_literals=params.max_literals,
-        filter_unsat=params.filter_unsat_minterms,
-        strategy=params.strategy,
-        derivative_cache=params.derivative_cache,
-    )
-    return {
+    spans_mark = trace.mark()
+    if trace.enabled():
+        group_span = trace.span(
+            "discharge.group",
+            cat="discharge",
+            members=len(obligations),
+            obligation_fp=obligation_digest(obligations[0]) if obligations else None,
+            mode="batch",
+        )
+    else:
+        group_span = trace.span("discharge.group")
+    try:
+        with group_span:
+            results, record = discharge_group(
+                obligations,
+                params.operators,
+                memo,
+                max_literals=params.max_literals,
+                filter_unsat=params.filter_unsat_minterms,
+                strategy=params.strategy,
+                derivative_cache=params.derivative_cache,
+            )
+    except Exception as exc:  # unexpected: capture context, then propagate
+        dump_postmortem(
+            exc,
+            obligation_fp=obligation_digest(obligations[0]) if obligations else None,
+            context={
+                "mode": "batch",
+                "members": [obligation_digest(ob) for ob in obligations],
+            },
+        )
+        raise
+    payload = {
         "members": results,
         "group": record.as_dict(),
         "memo_keys": list(memo.session_built_keys[keys_before:]),
     }
+    worker_spans = trace.drain(spans_mark)
+    if worker_spans:
+        payload["spans"] = worker_spans
+    return payload
 
 
 #: Snapshot handed to forked *group* workers: (group payloads, params).
@@ -378,7 +445,8 @@ class ObligationEngine:
         """
         self.stats.batches += 1
         self.stats.obligations_emitted += len(obligation_set)
-        scheduled = self._schedule(obligation_set)
+        with trace.span("schedule", cat="schedule", obligations=len(obligation_set)):
+            scheduled = self._schedule(obligation_set)
 
         #: this batch's verdicts: fingerprint -> (included, counterexample, error)
         verdicts: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
@@ -436,6 +504,15 @@ class ObligationEngine:
                 self.stats.store_misses += 1
             fresh.append((representative, digest))
 
+        logger.debug(
+            "batch %d: %d emitted, %d fresh (%d memo, %d store, %d shard-skipped)",
+            self.stats.batches,
+            len(obligation_set),
+            len(fresh),
+            len(memoed_keys),
+            len(stored_keys),
+            len(skipped_keys),
+        )
         results = self._discharge_batch([ob for ob, _ in fresh])
         if len(self._memo) + len(fresh) > self.max_memo_entries:
             self._memo.clear()
@@ -510,8 +587,12 @@ class ObligationEngine:
             return self._discharge_grouped(obligations)
         if len(obligations) > 1 and self.workers > 1 and _fork_available():
             self.stats.parallel_batches += 1
-            return self._discharge_parallel(obligations)
-        return [discharge_obligation(ob, self.params) for ob in obligations]
+            results = self._discharge_parallel(obligations)
+        else:
+            results = [discharge_obligation(ob, self.params) for ob in obligations]
+        for result in results:
+            trace.ingest(result.get("spans"))
+        return results
 
     def _discharge_parallel(self, obligations: list[Obligation]) -> list[dict]:
         global _FORK_STATE
@@ -520,10 +601,14 @@ class ObligationEngine:
         )
         context = multiprocessing.get_context("fork")
         processes = min(self.workers, len(obligations))
+        logger.debug("forking pool: %d workers for %d obligations", processes, len(obligations))
         _FORK_STATE = (obligations, self.params)
         try:
-            with context.Pool(processes=processes) as pool:
-                results = pool.map(_discharge_index, range(len(obligations)))
+            with trace.span(
+                "discharge.pool", cat="discharge", workers=processes, obligations=len(obligations)
+            ):
+                with context.Pool(processes=processes) as pool:
+                    results = pool.map(_discharge_index, range(len(obligations)))
         finally:
             _FORK_STATE = None
         self._note_worker_keys(result.get("memo_keys", ()) for result in results)
@@ -600,6 +685,11 @@ class ObligationEngine:
             self._note_worker_keys(out.get("memo_keys", ()) for out in outs)
         else:
             outs = [_discharge_group_payload(payload, self.params) for payload in payloads]
+        for out in outs:
+            trace.ingest(out.get("spans"))
+        logger.debug(
+            "batch discharge: %d obligations in %d alphabet groups", len(obligations), len(outs)
+        )
         results: list[Optional[dict]] = [None] * len(obligations)
         for (_, members), out in zip(ordered, outs):
             for position, member_result in zip(members, out["members"]):
@@ -616,9 +706,13 @@ class ObligationEngine:
         global _GROUP_FORK_STATE
         context = multiprocessing.get_context("fork")
         processes = min(self.workers, len(payloads))
+        logger.debug("forking pool: %d workers for %d groups", processes, len(payloads))
         _GROUP_FORK_STATE = (payloads, self.params)
         try:
-            with context.Pool(processes=processes) as pool:
-                return pool.map(_discharge_group_index, range(len(payloads)))
+            with trace.span(
+                "discharge.pool", cat="discharge", workers=processes, groups=len(payloads)
+            ):
+                with context.Pool(processes=processes) as pool:
+                    return pool.map(_discharge_group_index, range(len(payloads)))
         finally:
             _GROUP_FORK_STATE = None

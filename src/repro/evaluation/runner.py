@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from ..obs import trace
 from ..suite.benchmark import AdtBenchmark
 from ..suite.registry import all_benchmarks
 from ..typecheck.checker import CheckerConfig
@@ -56,6 +57,30 @@ class EvaluationReport:
             records.extend(diagnostic.get("batch_groups", ()))
         return records
 
+    def batch_group_summary(self) -> Optional[dict]:
+        """The query-coalescing record of a batch-mode run (None in lazy mode).
+
+        ``queries_billed`` is what the deterministic tables charge (the
+        recorded construction bill replayed per member — what fully-parallel
+        lazy executes); ``queries_executed`` is what the grouped run actually
+        ran.  Every multi-member group must execute strictly fewer than it
+        bills.  Surfaced by ``repro bench`` and ``evaluate --json``.
+        """
+        records = self.batch_group_records()
+        if not records:
+            return None
+        multi = [record for record in records if record["members"] > 1]
+        return {
+            "groups": len(records),
+            "grouped_obligations": sum(record["members"] for record in records),
+            "multi_member_groups": len(multi),
+            "queries_executed": sum(record["queries_executed"] for record in records),
+            "queries_billed": sum(record["queries_billed"] for record in records),
+            "multi_groups_strictly_fewer": all(
+                record["queries_executed"] < record["queries_billed"] for record in multi
+            ),
+        }
+
     def per_method_rows(self) -> list[dict[str, object]]:
         rows: list[dict[str, object]] = []
         for stats in self.adt_stats:
@@ -87,20 +112,21 @@ def run_benchmark(
     ``diagnostics_sink``, when given, receives the checker's run diagnostics
     (cache rates, batch group records) once the benchmark is done.
     """
-    checker = benchmark.make_checker(config, store=store)
-    stats = benchmark.verify_all(checker)
-    negatives: list[NegativeResult] = []
-    if check_negative_variants:
-        for variant in benchmark.negative_variants:
-            result = benchmark.verify_negative_variant(variant, checker)
-            negatives.append(
-                NegativeResult(
-                    benchmark=benchmark.key,
-                    variant=variant,
-                    rejected=not result.verified,
-                    error=result.error,
+    with trace.span("benchmark", cat="benchmark", benchmark=benchmark.key):
+        checker = benchmark.make_checker(config, store=store)
+        stats = benchmark.verify_all(checker)
+        negatives: list[NegativeResult] = []
+        if check_negative_variants:
+            for variant in benchmark.negative_variants:
+                result = benchmark.verify_negative_variant(variant, checker)
+                negatives.append(
+                    NegativeResult(
+                        benchmark=benchmark.key,
+                        variant=variant,
+                        rejected=not result.verified,
+                        error=result.error,
+                    )
                 )
-            )
     if diagnostics_sink is not None:
         diagnostics_sink.append({"benchmark": benchmark.key, **checker.run_diagnostics()})
     return stats, negatives
@@ -117,17 +143,19 @@ def run_evaluation(
     """Verify the whole corpus, mirroring the experiments behind Table 1."""
     if benchmarks is None:
         benchmarks = all_benchmarks(include_slow=include_slow)
+    benchmarks = list(benchmarks)
     report = EvaluationReport()
     start = time.perf_counter()
-    for benchmark in benchmarks:
-        stats, negatives = run_benchmark(
-            benchmark,
-            config=config,
-            check_negative_variants=check_negative_variants,
-            store=store,
-            diagnostics_sink=report.diagnostics,
-        )
-        report.adt_stats.append(stats)
-        report.negative_results.extend(negatives)
+    with trace.span("evaluate", cat="run", benchmarks=len(benchmarks)):
+        for benchmark in benchmarks:
+            stats, negatives = run_benchmark(
+                benchmark,
+                config=config,
+                check_negative_variants=check_negative_variants,
+                store=store,
+                diagnostics_sink=report.diagnostics,
+            )
+            report.adt_stats.append(stats)
+            report.negative_results.extend(negatives)
     report.total_time_seconds = time.perf_counter() - start
     return report

@@ -246,6 +246,13 @@ def report_json(report: EvaluationReport, store=None) -> dict:
             "table4": table4(report, deterministic=True, backend_invariant=True),
         },
     }
+    # run-level reuse diagnostics (volatile, like the timing columns): the
+    # summed cache counters and, in batch mode, the group-coalescing record —
+    # previously only `repro bench` surfaced these
+    payload["caches"] = report.cache_totals()
+    batch_summary = report.batch_group_summary()
+    if batch_summary is not None:
+        payload["batch_groups"] = batch_summary
     if store is not None:
         payload["store"] = {"summary": store.summary(), "methods": store.explain()}
     return payload

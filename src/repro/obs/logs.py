@@ -1,0 +1,76 @@
+"""Per-module ``logging`` setup with trace-correlated breadcrumbs.
+
+Every pipeline module grabs its logger via ``get_logger("engine")`` →
+``logging.getLogger("repro.engine")``; nothing is emitted until
+:func:`configure_logging` attaches a handler to the ``repro`` root
+(driven by ``--log-level`` / ``REPRO_LOG_LEVEL``).  The handler's
+formatter includes the innermost open span of the active tracer, so log
+lines correlate with the trace timeline without any per-call plumbing.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+from . import trace
+
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+_ROOT = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s [%(trace_span)s] %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger for one pipeline module: ``get_logger("store")`` → ``repro.store``."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp each record with the innermost open span, e.g. ``discharge#42``."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        current = trace.current_span()
+        if current is None:
+            record.trace_span = "-"
+        else:
+            record.trace_span = f"{current.get('name')}#{current.get('id')}"
+        return True
+
+
+def resolve_level(level: Optional[str] = None) -> Optional[int]:
+    """Map a ``--log-level`` / env value to a logging level, None if unset."""
+    raw = level if level is not None else os.environ.get(ENV_LOG_LEVEL)
+    if raw is None or raw == "":
+        return None
+    numeric = logging.getLevelName(str(raw).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {raw!r}")
+    return numeric
+
+
+def configure_logging(level: Optional[str] = None, stream=None) -> Optional[logging.Handler]:
+    """Attach one stderr handler to the ``repro`` logger at ``level``.
+
+    With no explicit level and no ``REPRO_LOG_LEVEL``, does nothing and
+    returns None — module loggers stay silent (the library default).
+    Re-invoking replaces the previously installed handler rather than
+    stacking duplicates.
+    """
+    numeric = resolve_level(level)
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    if numeric is None:
+        return None
+    handler = logging.StreamHandler(stream)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(TraceContextFilter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return handler

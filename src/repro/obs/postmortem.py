@@ -1,0 +1,70 @@
+"""Crash context capture for unexpected discharge failures.
+
+When a discharge worker dies on an exception the engine does not expect
+(anything outside the Alphabet/Compilation/Solver error family), the
+traceback alone loses the interesting part: *which* obligation was in
+flight and what the tracer had seen recently.  :func:`dump_postmortem`
+writes that context to a JSON file — last N completed spans, the
+open-span stack, the active obligation fingerprint — before the
+exception propagates.  Dumping must never mask the original error, so
+every failure in here is swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from typing import Any, Optional
+
+from . import trace
+
+ENV_POSTMORTEM = "REPRO_POSTMORTEM"
+DEFAULT_POSTMORTEM_PATH = ".pymarple-postmortem.json"
+
+#: How many most-recent completed spans to include alongside the open stack.
+RECENT_SPAN_COUNT = 25
+
+
+def postmortem_path() -> str:
+    return os.environ.get(ENV_POSTMORTEM) or DEFAULT_POSTMORTEM_PATH
+
+
+def dump_postmortem(
+    exc: BaseException,
+    *,
+    obligation_fp: Optional[str] = None,
+    context: Optional[dict] = None,
+    path: Optional[str] = None,
+) -> Optional[str]:
+    """Write crash context to ``path`` (default ``REPRO_POSTMORTEM``).
+
+    Returns the path written, or None if the dump itself failed — the
+    caller re-raises the original exception either way.
+    """
+    target = path or postmortem_path()
+    tracer = trace.active()
+    payload: dict[str, Any] = {
+        "schema": 1,
+        "time": time.time(),
+        "pid": os.getpid(),
+        "exception": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exception(type(exc), exc, exc.__traceback__),
+        },
+        "obligation_fp": obligation_fp,
+        "context": context or {},
+        "open_spans": tracer.open_spans() if tracer is not None else [],
+        "recent_spans": list(tracer.spans[-RECENT_SPAN_COUNT:]) if tracer is not None else [],
+    }
+    try:
+        tmp = f"{target}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        os.replace(tmp, target)
+        return target
+    except OSError:
+        return None

@@ -1,0 +1,108 @@
+"""Trace-file schema validation (stdlib-only, no jsonschema dependency).
+
+Used by the test suite and the CI trace-smoke job via
+``repro trace validate PATH``.  Validation accepts both on-disk formats
+by going through :func:`repro.obs.trace.read_trace` and then checking
+the normalised span records.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Optional
+
+from .trace import TRACE_SCHEMA, read_trace
+
+_REQUIRED_SPAN_FIELDS = ("id", "pid", "name", "cat", "ts", "dur")
+
+
+def validate_spans(spans: list, *, errors: Optional[list] = None, limit: int = 20) -> list:
+    """Check span records; append violations to ``errors`` and return it."""
+    if errors is None:
+        errors = []
+    seen: set = set()
+    for index, record in enumerate(spans):
+        if len(errors) >= limit:
+            return errors
+        if not isinstance(record, dict):
+            errors.append(f"span[{index}]: not an object")
+            continue
+        for field in _REQUIRED_SPAN_FIELDS:
+            if field not in record:
+                errors.append(f"span[{index}]: missing field {field!r}")
+        if not isinstance(record.get("name"), str) or not record.get("name"):
+            errors.append(f"span[{index}]: name must be a non-empty string")
+        if not isinstance(record.get("cat"), str) or not record.get("cat"):
+            errors.append(f"span[{index}]: cat must be a non-empty string")
+        for field in ("ts", "dur"):
+            value = record.get(field)
+            if not isinstance(value, Number) or isinstance(value, bool):
+                errors.append(f"span[{index}]: {field} must be a number")
+            elif value < 0:
+                errors.append(f"span[{index}]: {field} must be >= 0, got {value}")
+        for field in ("id", "pid"):
+            value = record.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"span[{index}]: {field} must be an integer")
+        args = record.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"span[{index}]: args must be an object")
+        key = (record.get("pid"), record.get("id"))
+        if None not in key:
+            if key in seen:
+                errors.append(f"span[{index}]: duplicate (pid, id) {key}")
+            seen.add(key)
+    # Parent references must resolve to a recorded span id (same pid first,
+    # falling back to any pid for cross-fork links) or be absent.
+    ids_by_pid: dict = {}
+    all_ids = set()
+    for record in spans:
+        if isinstance(record, dict) and isinstance(record.get("id"), int):
+            ids_by_pid.setdefault(record.get("pid"), set()).add(record["id"])
+            all_ids.add(record["id"])
+    for index, record in enumerate(spans):
+        if len(errors) >= limit:
+            return errors
+        if not isinstance(record, dict):
+            continue
+        parent = record.get("parent")
+        if parent is None:
+            continue
+        if not isinstance(parent, int) or isinstance(parent, bool):
+            errors.append(f"span[{index}]: parent must be an integer span id")
+        elif parent not in all_ids:
+            errors.append(f"span[{index}]: parent {parent} does not match any span id")
+    return errors
+
+
+def validate_trace(data: dict, *, limit: int = 20) -> list:
+    """Validate a normalised trace dict; return a list of error strings."""
+    errors: list = []
+    meta = data.get("meta")
+    if not isinstance(meta, dict) or not meta:
+        errors.append("meta: missing meta record")
+    else:
+        if meta.get("schema") != TRACE_SCHEMA:
+            errors.append(
+                f"meta: schema must be {TRACE_SCHEMA}, got {meta.get('schema')!r}"
+            )
+        if not isinstance(meta.get("pid"), int):
+            errors.append("meta: pid must be an integer")
+    spans = data.get("spans")
+    if not isinstance(spans, list) or not spans:
+        errors.append("spans: trace contains no spans")
+    else:
+        validate_spans(spans, errors=errors, limit=limit)
+    counters = data.get("counters")
+    if counters is not None and not isinstance(counters, dict):
+        errors.append("counters: must be an object when present")
+    return errors[:limit]
+
+
+def validate_trace_file(path: str, *, limit: int = 20) -> list:
+    """Read ``path`` (either format) and return schema violations, if any."""
+    try:
+        data = read_trace(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    return validate_trace(data, limit=limit)

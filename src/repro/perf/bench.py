@@ -64,30 +64,6 @@ def _aggregate_counters(report: EvaluationReport) -> dict:
     return totals
 
 
-def _batch_group_summary(report: EvaluationReport) -> Optional[dict]:
-    """The query-coalescing record of a batch-mode run (None in lazy mode).
-
-    ``queries_billed`` is what the deterministic tables charge (the recorded
-    construction bill replayed per member — what fully-parallel lazy
-    executes); ``queries_executed`` is what the grouped run actually ran.
-    Every multi-member group must execute strictly fewer than it bills.
-    """
-    records = report.batch_group_records()
-    if not records:
-        return None
-    multi = [record for record in records if record["members"] > 1]
-    return {
-        "groups": len(records),
-        "grouped_obligations": sum(record["members"] for record in records),
-        "multi_member_groups": len(multi),
-        "queries_executed": sum(record["queries_executed"] for record in records),
-        "queries_billed": sum(record["queries_billed"] for record in records),
-        "multi_groups_strictly_fewer": all(
-            record["queries_executed"] < record["queries_billed"] for record in multi
-        ),
-    }
-
-
 def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: list) -> dict:
     payload = {
         "wall_seconds": round(wall_seconds, 4),
@@ -105,7 +81,7 @@ def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: lis
             "table4": table4(report, deterministic=True),
         },
     }
-    batch_summary = _batch_group_summary(report)
+    batch_summary = report.batch_group_summary()
     if batch_summary is not None:
         payload["batch_groups"] = batch_summary
     return payload

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from .. import smt
+from ..obs import trace
 from ..smt.terms import Term
 from ..statsutil import MergeableStats
 from . import symbolic
@@ -359,16 +360,17 @@ def build_alphabets(
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown enumeration strategy {strategy!r}; expected one of {STRATEGIES}")
     literal_sets = collect_literals(formulas, operators, extra_context_literals)
-    return enumerate_alphabets(
-        solver,
-        hypotheses,
-        literal_sets,
-        operators,
-        max_literals=max_literals,
-        filter_unsat=filter_unsat,
-        strategy=strategy,
-        stats=stats,
-    )
+    with trace.span("alphabet.build", cat="alphabet", strategy=strategy):
+        return enumerate_alphabets(
+            solver,
+            hypotheses,
+            literal_sets,
+            operators,
+            max_literals=max_literals,
+            filter_unsat=filter_unsat,
+            strategy=strategy,
+            stats=stats,
+        )
 
 
 def enumerate_alphabets(
@@ -609,16 +611,19 @@ class AlphabetMemo:
         if entry is None:
             solver = smt.Solver(axioms=list(self.axioms), backend=self.backend)
             build_stats = AlphabetStats()
-            alphabets = enumerate_alphabets(
-                solver,
-                hypotheses,
-                literal_sets,
-                operators,
-                max_literals=max_literals,
-                filter_unsat=filter_unsat,
-                strategy=strategy,
-                stats=build_stats,
-            )
+            # only the hermetic construction is spanned — a memo hit replays
+            # the recorded bill in microseconds and stays out of the trace
+            with trace.span("alphabet.build", cat="alphabet", strategy=strategy):
+                alphabets = enumerate_alphabets(
+                    solver,
+                    hypotheses,
+                    literal_sets,
+                    operators,
+                    max_literals=max_literals,
+                    filter_unsat=filter_unsat,
+                    strategy=strategy,
+                    stats=build_stats,
+                )
             entry = AlphabetBuild(
                 alphabets=alphabets,
                 alphabet_stats=build_stats,

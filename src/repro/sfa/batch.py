@@ -48,6 +48,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..obs import trace
 from ..smt.solver import SolverError, SolverStats
 from . import symbolic
 from .alphabet import Alphabet, AlphabetError, AlphabetMemo, AlphabetStats
@@ -414,12 +415,18 @@ def discharge_group(
 
     pending = list(range(count))
     for alphabet in alphabets:
-        table = TransitionTable(alphabet, cache=derivative_cache)
-        walks = _lockstep_search(
-            table,
-            [(obligations[i].lhs, obligations[i].rhs) for i in pending],
-            max_pairs=max_pairs,
-        )
+        with trace.span(
+            "inclusion.batch",
+            cat="discharge",
+            members=len(pending),
+            characters=len(alphabet.characters),
+        ):
+            table = TransitionTable(alphabet, cache=derivative_cache)
+            walks = _lockstep_search(
+                table,
+                [(obligations[i].lhs, obligations[i].rhs) for i in pending],
+                max_pairs=max_pairs,
+            )
         next_pending = []
         for position, walk in zip(pending, walks):
             walk_seconds[position] += walk.seconds

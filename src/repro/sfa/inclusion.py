@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from .. import smt
+from ..obs import trace
 from ..smt.terms import Term
 from ..statsutil import MergeableStats
 from .alphabet import (
@@ -239,9 +240,10 @@ class InclusionChecker:
 
     def _check_lazy(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
         start = time.perf_counter()
-        witness, explored = lazy_inclusion_search(
-            lhs, rhs, alphabet, cache=self.derivative_cache
-        )
+        with trace.span("inclusion.lazy", cat="discharge", characters=len(alphabet.characters)):
+            witness, explored = lazy_inclusion_search(
+                lhs, rhs, alphabet, cache=self.derivative_cache
+            )
         self.stats.prod_states += explored
         self.stats.fa_inclusion_checks += 1
         self.stats.fa_time_seconds += time.perf_counter() - start
@@ -253,23 +255,26 @@ class InclusionChecker:
 
     def _check_compiled(self, lhs: Sfa, rhs: Sfa, alphabet: Alphabet) -> InclusionResult:
         start = time.perf_counter()
-        hits_before = self._dfa_cache.hits
-        misses_before = self._dfa_cache.misses
-        evictions_before = self._dfa_cache.evictions
-        lhs_dfa = compile_dfa(lhs, alphabet, cache=self._dfa_cache)
-        rhs_dfa = compile_dfa(rhs, alphabet, cache=self._dfa_cache)
-        self.stats.dfa_cache_hits += self._dfa_cache.hits - hits_before
-        self.stats.dfa_cache_misses += self._dfa_cache.misses - misses_before
-        self.stats.dfa_cache_evictions += self._dfa_cache.evictions - evictions_before
-        if self.minimize:
-            lhs_dfa = lhs_dfa.minimize()
-            rhs_dfa = rhs_dfa.minimize()
-        self.stats.automata_built += 2
-        self.stats.total_transitions += lhs_dfa.num_transitions + rhs_dfa.num_transitions
-        self.stats.states_built += lhs_dfa.num_states + rhs_dfa.num_states
-        self.stats.fa_inclusion_checks += 1
-        witness, explored = lhs_dfa.counterexample_search(rhs_dfa)
-        self.stats.prod_states += explored
+        with trace.span(
+            "inclusion.compiled", cat="discharge", characters=len(alphabet.characters)
+        ):
+            hits_before = self._dfa_cache.hits
+            misses_before = self._dfa_cache.misses
+            evictions_before = self._dfa_cache.evictions
+            lhs_dfa = compile_dfa(lhs, alphabet, cache=self._dfa_cache)
+            rhs_dfa = compile_dfa(rhs, alphabet, cache=self._dfa_cache)
+            self.stats.dfa_cache_hits += self._dfa_cache.hits - hits_before
+            self.stats.dfa_cache_misses += self._dfa_cache.misses - misses_before
+            self.stats.dfa_cache_evictions += self._dfa_cache.evictions - evictions_before
+            if self.minimize:
+                lhs_dfa = lhs_dfa.minimize()
+                rhs_dfa = rhs_dfa.minimize()
+            self.stats.automata_built += 2
+            self.stats.total_transitions += lhs_dfa.num_transitions + rhs_dfa.num_transitions
+            self.stats.states_built += lhs_dfa.num_states + rhs_dfa.num_states
+            self.stats.fa_inclusion_checks += 1
+            witness, explored = lhs_dfa.counterexample_search(rhs_dfa)
+            self.stats.prod_states += explored
         self.stats.fa_time_seconds += time.perf_counter() - start
         if witness is None:
             return InclusionResult(included=True)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from . import terms
+from ..obs import trace
 from ..statsutil import MergeableStats
 from .axioms import Axiom, instantiate
 from .backends import SatBackend, make_sat_backend, resolve_backend
@@ -192,7 +193,10 @@ class Solver:
         start = time.perf_counter()
         self.stats.queries += 1
         self.stats.cache_misses += 1
-        result = self._check(goal)
+        # only cache *misses* are spanned: hits are nanosecond dictionary
+        # reads and would dominate the trace without carrying any time
+        with trace.span("solver.check", cat="solver", backend=self.backend):
+            result = self._check(goal)
         self.stats.time_seconds += time.perf_counter() - start
         if result:
             self.stats.sat_results += 1
@@ -250,7 +254,10 @@ class Solver:
         self.stats.cache_misses += 1
         start = time.perf_counter()
         try:
-            models = self._enumerate(goal, lits)
+            with trace.span(
+                "solver.enumerate", cat="solver", backend=self.backend, literals=len(lits)
+            ):
+                models = self._enumerate(goal, lits)
         finally:
             self.stats.time_seconds += time.perf_counter() - start
         models.sort(key=lambda assignment: tuple(not value for _, value in assignment))

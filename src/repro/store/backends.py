@@ -63,6 +63,11 @@ try:  # pragma: no cover - always present on POSIX, the supported platform
 except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
+from ..obs import trace
+from ..obs.logs import get_logger
+
+logger = get_logger("store")
+
 #: Store layout version; entries under another tag are discarded on open.
 SCHEMA_VERSION = "pymarple-store-v1"
 
@@ -222,7 +227,11 @@ def _flocked(lock_path: Path) -> Iterator[None]:
         return
     fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
     try:
-        fcntl.flock(fd, fcntl.LOCK_EX)
+        # spanned separately from the critical section: under writer
+        # contention this is pure queueing time, the number the trace needs
+        # to distinguish "store is slow" from "store is fought over"
+        with trace.span("store.lock_wait", cat="store"):
+            fcntl.flock(fd, fcntl.LOCK_EX)
         yield
     finally:
         fcntl.flock(fd, fcntl.LOCK_UN)
@@ -451,18 +460,28 @@ class SqliteStoreBackend:
         """A write transaction, retried with backoff while the db is busy."""
         conn = self._connect()
         delay = 0.005
-        for attempt in range(self._begin_attempts):
-            try:
-                conn.execute("BEGIN IMMEDIATE")
-                break
-            except sqlite3.OperationalError as exc:
-                message = str(exc).lower()
-                if "locked" not in message and "busy" not in message:
-                    raise
-                if attempt == self._begin_attempts - 1:
-                    raise
-                time.sleep(delay)
-                delay = min(delay * 2, 0.25)
+        # the whole BEGIN loop is one span: its duration is exactly the
+        # busy-retry time a contended writer spends queueing for the db
+        with trace.span("store.busy_wait", cat="store") as busy_span:
+            for attempt in range(self._begin_attempts):
+                try:
+                    conn.execute("BEGIN IMMEDIATE")
+                    break
+                except sqlite3.OperationalError as exc:
+                    message = str(exc).lower()
+                    if "locked" not in message and "busy" not in message:
+                        raise
+                    if attempt == self._begin_attempts - 1:
+                        raise
+                    logger.debug(
+                        "sqlite busy (attempt %d/%d), backing off %.3fs",
+                        attempt + 1,
+                        self._begin_attempts,
+                        delay,
+                    )
+                    time.sleep(delay)
+                    delay = min(delay * 2, 0.25)
+            busy_span.set(attempts=attempt + 1)
         try:
             yield conn
         except BaseException:

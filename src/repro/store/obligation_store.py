@@ -55,6 +55,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
 
+from ..obs import trace
+from ..obs.logs import get_logger
 from .backends import (
     ENTRY_DECODE_ERRORS,
     SCHEMA_VERSION,
@@ -66,6 +68,8 @@ from .backends import (
 
 #: the run log is trimmed to this many most-recent records on commit
 _MAX_RUN_RECORDS = 256
+
+logger = get_logger("store")
 
 
 @dataclass(frozen=True)
@@ -133,12 +137,19 @@ class ObligationStore:
     def _load(self) -> None:
         # shard children never wipe the shared store on a schema mismatch
         # (the parent already did, or will, before forking them)
-        state = self.backend.load(wipe_mismatch=self.shard_output is None)
+        with trace.span("store.load", cat="store", backend=self.backend.name):
+            state = self.backend.load(wipe_mismatch=self.shard_output is None)
         self._adopt(state)
 
     def _adopt(self, state: LoadedState) -> None:
         self._entries = state.entries
         self._runs = state.runs
+        if state.skipped:
+            logger.warning(
+                "skipped %d corrupt/torn store record(s) while loading %s",
+                state.skipped,
+                self.path,
+            )
         self.skipped_records += state.skipped
         for entry in self._entries.values():
             self._note_cost(entry)
@@ -150,7 +161,9 @@ class ObligationStore:
 
     # -- the read/write surface ----------------------------------------------------
     def lookup(self, env: str, fp: str) -> Optional[StoreEntry]:
-        entry = self._entries.get((env, fp))
+        with trace.span("store.lookup", cat="store", fp=fp) as lookup_span:
+            entry = self._entries.get((env, fp))
+            lookup_span.set(hit=entry is not None)
         if entry is not None:
             self._touched[entry.key] = None
         return entry
@@ -183,17 +196,19 @@ class ObligationStore:
         """
         if not self._pending:
             return
-        if self.shard_output is None:
-            self.backend.append_entries(self._pending)
-        else:
-            # a shard file is private to this worker process; a single
-            # appending write still keeps a torn tail from costing more than
-            # one entry if the worker is killed mid-flush
-            self.backend.shard_dir.mkdir(parents=True, exist_ok=True)
-            append_jsonl_batch(
-                self.backend.shard_dir / f"shard-{self.shard_output}.jsonl",
-                [entry.to_json() for entry in self._pending],
-            )
+        logger.debug("flushing %d pending store entries to %s", len(self._pending), self.path)
+        with trace.span("store.flush", cat="store", entries=len(self._pending)):
+            if self.shard_output is None:
+                self.backend.append_entries(self._pending)
+            else:
+                # a shard file is private to this worker process; a single
+                # appending write still keeps a torn tail from costing more
+                # than one entry if the worker is killed mid-flush
+                self.backend.shard_dir.mkdir(parents=True, exist_ok=True)
+                append_jsonl_batch(
+                    self.backend.shard_dir / f"shard-{self.shard_output}.jsonl",
+                    [entry.to_json() for entry in self._pending],
+                )
         self._pending.clear()
 
     def compact(self) -> None:
@@ -258,8 +273,10 @@ class ObligationStore:
                 self._session_writes.pop(key, None)
             return entries, runs
 
-        self._adopt(self.backend.update(drop_stale, runs=False))
+        with trace.span("store.invalidate", cat="store"):
+            self._adopt(self.backend.update(drop_stale, runs=False))
         self._pending.clear()
+        logger.debug("invalidated %d stale entries for %s.%s", dropped, scope, method)
         return dropped
 
     # -- session bookkeeping (--explain) -------------------------------------------
@@ -312,6 +329,7 @@ class ObligationStore:
             return 0
         self.flush()
         touched = sorted(f"{env}:{fp}" for env, fp in self._touched)
+        logger.debug("committing run: %d touched entries", len(touched))
 
         def append_run(entries, runs):
             sequence = (runs[-1]["run"] + 1) if runs else 1
@@ -319,7 +337,8 @@ class ObligationStore:
             del runs[:-_MAX_RUN_RECORDS]
             return entries, runs
 
-        state = self.backend.update(append_run, entries=False)
+        with trace.span("store.commit_run", cat="store", touched=len(touched)):
+            state = self.backend.update(append_run, entries=False)
         self._runs = state.runs
         self._touched.clear()
         return len(touched)

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 from .. import smt
+from ..obs import trace
+from ..obs.logs import get_logger
 from ..smt.sorts import BOOL, INT, Sort, UNIT
 from ..engine import ObligationEngine, ObligationSet
 from ..lang import ast
@@ -60,6 +62,8 @@ from ..types.subtyping import SubtypingEngine
 from .abduction import abduce_ghosts
 from .spec import MethodSpec
 from .stats import MethodResult, MethodStats
+
+logger = get_logger("checker")
 
 
 class CheckFailure(Exception):
@@ -268,6 +272,24 @@ class Checker:
         ``module_specs`` provides HAT signatures for the other methods of the
         same module (including ``definition`` itself when it is recursive).
         """
+        with trace.span(
+            "method", cat="method", scope=self.store_scope or "", method=spec.name
+        ):
+            result = self._check_method(definition, spec, module_specs)
+        logger.debug(
+            "%s.%s: %s",
+            self.store_scope or "?",
+            spec.name,
+            "verified" if result.verified else f"failed ({result.error})",
+        )
+        return result
+
+    def _check_method(
+        self,
+        definition: ast.FunctionDef,
+        spec: MethodSpec,
+        module_specs: Mapping[str, MethodSpec] | None = None,
+    ) -> MethodResult:
         start = time.perf_counter()
         solver_before = self.solver.stats.snapshot()
         inclusion_before = self.inclusion.stats.snapshot()
@@ -304,8 +326,12 @@ class Checker:
         # -- emit: walk the body, collecting obligations instead of deciding them
         self._obligations = ObligationSet(method=spec.name)
         inline_error: Optional[str] = None
+        emit_span = trace.span("emit", cat="emit", method=spec.name)
         try:
-            self._check(gamma, spec.precondition, definition.body, spec.result, spec.postcondition)
+            with emit_span:
+                self._check(
+                    gamma, spec.precondition, definition.body, spec.result, spec.postcondition
+                )
         except (CheckFailure, TypingError) as exc:
             inline_error = str(exc)
         except (AlphabetError, CompilationError, SolverError) as exc:
@@ -348,8 +374,8 @@ class Checker:
                 error = failure.obligation.failure_message
                 if failure.counterexample:
                     counterexample = list(failure.counterexample)
-                    trace = " ; ".join(failure.counterexample)
-                    error = f"{error} [counterexample trace: {trace}]"
+                    witness_text = " ; ".join(failure.counterexample)
+                    error = f"{error} [counterexample trace: {witness_text}]"
         elif inline_error is not None:
             error = inline_error
         verified = error is None

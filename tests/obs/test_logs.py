@@ -1,0 +1,75 @@
+"""Module loggers, level resolution, and trace-correlated breadcrumbs."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.logs import (
+    ENV_LOG_LEVEL,
+    TraceContextFilter,
+    configure_logging,
+    get_logger,
+    resolve_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_slate(monkeypatch):
+    """No env level, no handlers, no tracer leaking between tests."""
+    monkeypatch.delenv(ENV_LOG_LEVEL, raising=False)
+    trace.uninstall()
+    yield
+    configure_logging(None)  # strips the tagged handler
+    trace.uninstall()
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger("engine").name == "repro.engine"
+    assert get_logger("repro.store").name == "repro.store"
+
+
+def test_resolve_level_prefers_argument_then_env(monkeypatch):
+    assert resolve_level(None) is None
+    monkeypatch.setenv(ENV_LOG_LEVEL, "info")
+    assert resolve_level(None) == logging.INFO
+    assert resolve_level("debug") == logging.DEBUG
+    with pytest.raises(ValueError):
+        resolve_level("chatty")
+
+
+def test_configure_logging_noop_without_level():
+    assert configure_logging(None) is None
+    root = logging.getLogger("repro")
+    assert not any(getattr(h, "_repro_obs", False) for h in root.handlers)
+
+
+def test_breadcrumbs_carry_the_innermost_open_span():
+    stream = io.StringIO()
+    configure_logging("debug", stream=stream)
+    logger = get_logger("engine")
+
+    logger.debug("outside any span")
+    with trace.session():
+        with trace.span("discharge", cat="discharge"):
+            logger.debug("inside the span")
+
+    lines = stream.getvalue().splitlines()
+    assert "[-]" in lines[0] and "outside any span" in lines[0]
+    assert "[discharge#" in lines[1] and "repro.engine" in lines[1]
+
+
+def test_reconfiguring_replaces_the_handler_instead_of_stacking():
+    configure_logging("debug", stream=io.StringIO())
+    configure_logging("info", stream=io.StringIO())
+    root = logging.getLogger("repro")
+    tagged = [h for h in root.handlers if getattr(h, "_repro_obs", False)]
+    assert len(tagged) == 1
+    assert root.level == logging.INFO
+
+
+def test_filter_is_harmless_without_a_tracer():
+    record = logging.LogRecord("repro.x", logging.DEBUG, __file__, 1, "m", (), None)
+    assert TraceContextFilter().filter(record) is True
+    assert record.trace_span == "-"
