@@ -17,9 +17,12 @@ discharged obligations are persisted to an on-disk store and answered from it
 on later runs; ``--explain`` prints the per-method hit/miss/invalidated
 counts, and ``--json`` emits a machine-readable report for CI trend tracking.
 The store's persistence backend follows the path (``store.db`` or
-``sqlite:PATH`` → a WAL-mode SQLite file, anything else → the locked JSONL
+``sqlite:PATH`` → a WAL-mode SQLite file, ``http://host:port`` → a remote
+``pymarple store serve`` instance, anything else → the locked JSONL
 directory) or is forced with ``--store-backend``/``REPRO_STORE_BACKEND``;
-``pymarple store migrate SRC DST`` converts between them losslessly.
+``pymarple store migrate SRC DST`` converts between the local backends
+losslessly, and ``pymarple store serve`` exposes a local store to a fleet of
+remote clients over JSON-HTTP.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from .obs.logs import configure_logging
 from .smt.backends import known_backends, resolve_backend
 from .store.backends import KNOWN_STORE_BACKENDS, migrate_store, resolve_store_backend
 from .store.obligation_store import ObligationStore
+from .store.remote import RemoteStoreError
 from .suite.registry import all_benchmarks, benchmark_by_key
 from .typecheck.checker import CheckerConfig
 
@@ -130,7 +134,10 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--store",
         metavar="PATH",
-        help="store directory (implies --incremental)",
+        help=(
+            "store path (implies --incremental): a directory, a .db file, or "
+            "the http://host:port URL of a `store serve` instance"
+        ),
     )
     group.add_argument(
         "--explain",
@@ -202,9 +209,14 @@ def _open_store(
     if not wants_store:
         return None
     backend = config.store_backend if config is not None else None
-    return ObligationStore(
-        getattr(args, "store", None) or DEFAULT_STORE_PATH, backend=backend
-    )
+    try:
+        return ObligationStore(
+            getattr(args, "store", None) or DEFAULT_STORE_PATH, backend=backend
+        )
+    except ValueError as exc:
+        # e.g. contradictory path/backend directives: diagnose, don't traceback
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _finish_store(store: Optional[ObligationStore]) -> None:
@@ -476,6 +488,62 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived shared-cache service in the foreground.
+
+    Binds, optionally writes the bound URL to ``--ready-file`` (the robust
+    "server is up" signal for scripts — with ``--port 0`` the kernel picks
+    the port), then serves until SIGINT/SIGTERM and shuts down cleanly.
+    """
+    import signal
+    import threading
+    from pathlib import Path
+
+    from .store.server import StoreHTTPServer, StoreService
+
+    try:
+        service = StoreService(
+            args.store or DEFAULT_STORE_PATH, backend=args.store_backend
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = StoreHTTPServer((args.host, args.port), service)
+    except OSError as exc:
+        service.close()
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    identity = service.op_handshake({})
+    if args.ready_file:
+        Path(args.ready_file).write_text(server.url + "\n")
+    print(
+        f"serving {identity['backend']} store {identity['path']} at "
+        f"{server.url} ({identity['entries']} entries)",
+        flush=True,
+    )
+    if identity["skipped"]:
+        print(
+            f"warning: skipped {identity['skipped']} corrupt record(s) at load",
+            file=sys.stderr,
+        )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    loop = threading.Thread(target=server.serve_forever, daemon=True)
+    loop.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    server.shutdown()
+    loop.join()
+    server.server_close()
+    service.close()
+    print("store server stopped", flush=True)
+    return 0
+
+
 def _cmd_store_migrate(args: argparse.Namespace) -> int:
     try:
         source_name, _ = resolve_store_backend(args.source, args.from_backend)
@@ -609,6 +677,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the store's persistence backend (default: infer from the path)",
     )
     gc.set_defaults(func=_cmd_store_gc)
+    serve = store_sub.add_parser(
+        "serve",
+        help="serve a local store over HTTP for --store http://host:port clients",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="PATH",
+        help=f"local store to serve: a directory or .db file (default: {DEFAULT_STORE_PATH})",
+    )
+    serve.add_argument(
+        "--store-backend",
+        choices=("auto",) + KNOWN_STORE_BACKENDS,
+        default=None,
+        help="force the served store's persistence backend (default: infer from the path)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1; use 0.0.0.0 for a fleet)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="port to bind; 0 lets the kernel pick one (default: 8642)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write the bound URL here once serving — the up-signal for scripts",
+    )
+    serve.set_defaults(func=_cmd_store_serve)
     migrate = store_sub.add_parser(
         "migrate",
         help="copy a store losslessly between the jsonl and sqlite backends",
@@ -704,12 +804,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     trace_path = getattr(args, "trace", None) or os.environ.get(obs_trace.ENV_TRACE)
-    if trace_path:
-        with obs_trace.session(trace_path, meta={"command": args.command}):
-            status = args.func(args)
-        print(f"trace written to {trace_path}", file=sys.stderr)
-        return status
-    return args.func(args)
+    try:
+        if trace_path:
+            with obs_trace.session(trace_path, meta={"command": args.command}):
+                status = args.func(args)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+            return status
+        return args.func(args)
+    except RemoteStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

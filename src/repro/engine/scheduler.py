@@ -448,6 +448,16 @@ class ObligationEngine:
         with trace.span("schedule", cat="schedule", obligations=len(obligation_set)):
             scheduled = self._schedule(obligation_set)
 
+        if self.store is not None:
+            # one batched fetch for the whole batch: a no-op against a local
+            # store, a single lookup RPC instead of per-obligation
+            # round-trips against a remote one (digests are memoised on the
+            # obligation, so the per-representative lookups below are free)
+            self.store.prefetch(
+                self._env_fp,
+                [obligation_digest(representative) for representative, _ in scheduled],
+            )
+
         #: this batch's verdicts: fingerprint -> (included, counterexample, error)
         verdicts: dict[tuple, tuple[bool, Optional[list[str]], Optional[str]]] = {}
         fresh: list[tuple[Obligation, Optional[str]]] = []

@@ -11,6 +11,10 @@ The subsystem behind ``pymarple --incremental``:
   (environment fingerprint, obligation fingerprint) to verdicts, witness
   traces and per-obligation discharge counters, with dependency-tracked
   invalidation;
+* :mod:`repro.store.remote` / :mod:`repro.store.server` — the shared-cache
+  service: ``repro store serve`` wraps a local backend behind JSON-over-HTTP
+  and :class:`~repro.store.remote.RemoteStoreBackend` is the client a
+  ``--store http://host:port`` URL resolves to;
 * :mod:`repro.store.shard` — the sharded suite runner (imported lazily: it
   sits above the evaluation layer, which itself depends on this package).
 """
@@ -22,6 +26,7 @@ from .backends import (
     migrate_store,
     resolve_store_backend,
 )
+from .remote import RemoteStoreBackend, RemoteStoreError
 from .fingerprint import (
     environment_fingerprint,
     library_digest,
@@ -44,6 +49,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "JsonlStoreBackend",
     "MethodStoreCounts",
+    "RemoteStoreBackend",
+    "RemoteStoreError",
     "SqliteStoreBackend",
     "migrate_store",
     "resolve_store_backend",

@@ -116,30 +116,34 @@ class StoreEntry:
         wall = self.cost.get("wall")
         return float(wall) if isinstance(wall, (int, float)) else None
 
+    def to_record(self) -> dict:
+        """The JSON-able record shape shared by the log lines and the wire."""
+        return {
+            "env": self.env,
+            "fp": self.fp,
+            "inc": self.included,
+            "cex": self.counterexample,
+            "err": self.error,
+            "sol": self.solver_stats,
+            "fa": self.inclusion_stats,
+            "scope": self.scope,
+            "method": self.method,
+            "spec": self.spec,
+            "lib": self.library,
+            "kind": self.kind,
+            "prov": self.provenance,
+            "cost": self.cost,
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "env": self.env,
-                "fp": self.fp,
-                "inc": self.included,
-                "cex": self.counterexample,
-                "err": self.error,
-                "sol": self.solver_stats,
-                "fa": self.inclusion_stats,
-                "scope": self.scope,
-                "method": self.method,
-                "spec": self.spec,
-                "lib": self.library,
-                "kind": self.kind,
-                "prov": self.provenance,
-                "cost": self.cost,
-            },
-            sort_keys=True,
-        )
+        return json.dumps(self.to_record(), sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "StoreEntry":
-        obj = json.loads(line)
+        return cls.from_record(json.loads(line))
+
+    @classmethod
+    def from_record(cls, obj: object) -> "StoreEntry":
         if not isinstance(obj, dict):
             raise ValueError(f"store entry must be a JSON object, got {type(obj).__name__}")
         return cls(
@@ -304,6 +308,10 @@ class JsonlStoreBackend:
     """
 
     name = "jsonl"
+    #: local backends execute ``update(fn)`` closures in-process; the remote
+    #: backend cannot (a closure does not cross the wire) and exposes the
+    #: store-level operations instead
+    supports_update = True
 
     def __init__(self, path: os.PathLike | str) -> None:
         self.path = Path(path)
@@ -426,6 +434,7 @@ class SqliteStoreBackend:
     """
 
     name = "sqlite"
+    supports_update = True
 
     #: how long a writer waits for a competing transaction before retrying
     busy_timeout_ms = 10_000
@@ -445,9 +454,15 @@ class SqliteStoreBackend:
     def _connect(self) -> sqlite3.Connection:
         if self._conn is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            # isolation_level=None: autocommit, transactions opened explicitly
+            # isolation_level=None: autocommit, transactions opened explicitly.
+            # check_same_thread=False: the store server executes ops on HTTP
+            # worker threads but serialises every one under its own lock, and
+            # in-process callers never share a backend across threads anyway
             conn = sqlite3.connect(
-                self.path, timeout=self.busy_timeout_ms / 1000.0, isolation_level=None
+                self.path,
+                timeout=self.busy_timeout_ms / 1000.0,
+                isolation_level=None,
+                check_same_thread=False,
             )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
@@ -484,8 +499,16 @@ class SqliteStoreBackend:
             busy_span.set(attempts=attempt + 1)
         try:
             yield conn
-        except BaseException:
-            conn.execute("ROLLBACK")
+        except BaseException as original:
+            # the rollback itself can fail (dropped connection, "no
+            # transaction is active" after a failed BEGIN); that failure must
+            # never mask the exception that aborted the transaction
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error as rollback_exc:
+                logger.debug(
+                    "rollback after %r itself failed: %s", original, rollback_exc
+                )
             raise
         else:
             conn.execute("COMMIT")
@@ -701,28 +724,56 @@ class SqliteStoreBackend:
             self._conn = None
 
 
+def _validate_backend_name(backend: str, *, source: str = "") -> None:
+    if backend not in KNOWN_STORE_BACKENDS:
+        origin = f" (from {source})" if source else ""
+        raise ValueError(
+            f"unknown store backend {backend!r}{origin}; "
+            f"expected one of {KNOWN_STORE_BACKENDS + ('auto',)}"
+        )
+
+
 def resolve_store_backend(
     path: os.PathLike | str, backend: Optional[str] = None
-) -> tuple[str, Path]:
+) -> tuple[str, "Path | str"]:
     """Pick the backend for a store path; returns ``(name, normalised path)``.
 
-    Precedence: an explicit ``backend`` argument, then what the path itself
-    says (``sqlite:`` URL prefix, a ``.db``/``.sqlite``/``.sqlite3`` suffix
-    or an existing plain file → sqlite; an existing directory → jsonl), then
-    ``REPRO_STORE_BACKEND``, then the jsonl default.
+    Precedence: an ``http://``/``https://`` URL always means the remote
+    client (the path stays a URL string; an explicit local ``backend`` then
+    names the storage the *server* is expected to wrap, verified at
+    handshake); then an explicit ``backend`` argument, then what the path
+    itself says (``sqlite:`` URL prefix, a ``.db``/``.sqlite``/``.sqlite3``
+    suffix or an existing plain file → sqlite; an existing directory →
+    jsonl), then ``REPRO_STORE_BACKEND``, then the jsonl default.
+
+    Contradictory directives are an error, never silently resolved: a
+    ``sqlite:`` path combined with an explicit non-sqlite backend raises
+    instead of stripping the prefix and opening the other backend.
     """
     raw = str(path)
+    if raw.startswith(("http://", "https://")):
+        if backend not in (None, "", "auto", "remote"):
+            _validate_backend_name(backend)
+        return "remote", raw.rstrip("/")
+    if backend == "remote":
+        raise ValueError(
+            f"the remote store backend needs an http:// or https:// store "
+            f"URL, got {raw!r}"
+        )
     if raw.startswith("sqlite:"):
         raw = raw[len("sqlite:") :]
         if backend in (None, "", "auto"):
             backend = "sqlite"
+        elif backend != "sqlite":
+            _validate_backend_name(backend)
+            raise ValueError(
+                f"store path {str(path)!r} demands the sqlite backend, but "
+                f"{backend!r} was requested explicitly; drop one of the two "
+                "conflicting directives"
+            )
     resolved = Path(raw)
     if backend not in (None, "", "auto"):
-        if backend not in KNOWN_STORE_BACKENDS:
-            raise ValueError(
-                f"unknown store backend {backend!r}; "
-                f"expected one of {KNOWN_STORE_BACKENDS + ('auto',)}"
-            )
+        _validate_backend_name(backend)
         return backend, resolved
     if resolved.suffix in _SQLITE_SUFFIXES or resolved.is_file():
         return "sqlite", resolved
@@ -732,16 +783,18 @@ def resolve_store_backend(
     if env in KNOWN_STORE_BACKENDS:
         return env, resolved
     if env not in (None, "", "auto"):
-        raise ValueError(
-            f"unknown store backend {env!r} (from REPRO_STORE_BACKEND); "
-            f"expected one of {KNOWN_STORE_BACKENDS + ('auto',)}"
-        )
+        _validate_backend_name(env, source="REPRO_STORE_BACKEND")
     return "jsonl", resolved
 
 
 def open_backend(path: os.PathLike | str, backend: Optional[str] = None):
     """Instantiate the backend :func:`resolve_store_backend` picks for ``path``."""
     name, resolved = resolve_store_backend(path, backend)
+    if name == "remote":
+        from .remote import RemoteStoreBackend  # avoid a module cycle
+
+        expected = backend if backend in KNOWN_STORE_BACKENDS else None
+        return RemoteStoreBackend(resolved, expect_backend=expected)
     if name == "sqlite":
         return SqliteStoreBackend(resolved)
     return JsonlStoreBackend(resolved)
@@ -762,13 +815,30 @@ def migrate_store(
     ``gc --keep-last`` means the same thing after the move).  The destination
     is overwritten wholesale.
     """
-    src = open_backend(source, source_backend)
-    dst = open_backend(destination, destination_backend)
-    if src.path.resolve() == dst.path.resolve():
+    # resolve and compare *before* instantiating anything: a same-path (or
+    # remote) rejection must not leave an opened sqlite connection behind
+    source_name, source_path = resolve_store_backend(source, source_backend)
+    destination_name, destination_path = resolve_store_backend(
+        destination, destination_backend
+    )
+    if "remote" in (source_name, destination_name):
+        raise ValueError(
+            "store migrate works on local stores; run it on the machine "
+            "that owns the files (the server's store path, not its URL)"
+        )
+    if source_path.resolve() == destination_path.resolve():
         raise ValueError("store migrate needs distinct source and destination paths")
-    state = src.load(wipe_mismatch=True)
-    dst.load(wipe_mismatch=True)  # initialise (and wipe any foreign-schema leftovers)
-    dst.update(lambda _entries, _runs: (state.entries, state.runs))
-    src.close()
-    dst.close()
-    return {"entries": len(state.entries), "runs": len(state.runs)}
+    src = dst = None
+    try:
+        src = open_backend(source_path, source_name)
+        dst = open_backend(destination_path, destination_name)
+        state = src.load(wipe_mismatch=True)
+        dst.load(wipe_mismatch=True)  # initialise (and wipe foreign-schema leftovers)
+        dst.update(lambda _entries, _runs: (state.entries, state.runs))
+        return {"entries": len(state.entries), "runs": len(state.runs)}
+    finally:
+        # a failed load/update must leak neither backend's connection
+        if src is not None:
+            src.close()
+        if dst is not None:
+            dst.close()

@@ -21,7 +21,13 @@ forced via ``backend=``/``REPRO_STORE_BACKEND``:
   write and atomic fsynced rewrites;
 * the **sqlite** backend keeps one WAL-mode database file with the same
   records in ``entries``/``deps``/``costs``/``runs`` tables, UPSERTed on the
-  ``(env, fp)`` primary key.
+  ``(env, fp)`` primary key;
+* the **remote** backend (an ``http://``/``https://`` store path) is a
+  client for ``repro store serve``: the session mirrors only the entries it
+  batch-fetched or wrote, and every read-modify-rewrite operation below runs
+  *server-side* under the wrapped backend's lock — ``update(fn)`` closures
+  cannot cross the wire, so the wire speaks store-level operations instead
+  (see :mod:`repro.store.remote` and :mod:`repro.store.server`).
 
 Either way the store is safe under concurrent writer processes: appends can
 never interleave partial entries, and the read-modify-rewrite operations
@@ -70,6 +76,60 @@ from .backends import (
 _MAX_RUN_RECORDS = 256
 
 logger = get_logger("store")
+
+
+# ---------------------------------------------------------------------------
+# The pure halves of the read-modify-rewrite operations.  Factored out so the
+# local store and the ``repro store serve`` service run the *same* logic —
+# one executes it in-process under the backend lock, the other server-side
+# on a client's behalf.
+# ---------------------------------------------------------------------------
+
+
+def stale_entry_keys(
+    entries: dict[tuple[str, str], StoreEntry],
+    scope: str,
+    method: str,
+    spec_digest: str,
+    library_digest: str,
+) -> list[tuple[str, str]]:
+    """Keys invalidated by a spec/library edit (see :meth:`invalidate_stale`)."""
+    return [
+        key
+        for key, entry in entries.items()
+        if entry.scope == scope
+        and (
+            entry.library != library_digest
+            or (entry.method == method and entry.spec != spec_digest)
+        )
+    ]
+
+
+def append_run_record(runs: list[dict], touched: list[str]) -> tuple[list[dict], int]:
+    """Append one run record, trimmed; returns ``(runs, sequence number)``."""
+    sequence = (runs[-1]["run"] + 1) if runs else 1
+    runs.append({"run": sequence, "touched": list(touched)})
+    del runs[:-_MAX_RUN_RECORDS]
+    return runs, sequence
+
+
+def sweep_unreferenced(
+    entries: dict[tuple[str, str], StoreEntry], runs: list[dict], keep_last: int
+) -> tuple[dict[tuple[str, str], StoreEntry], list[dict], list[tuple[str, str]]]:
+    """Drop entries unreferenced by the last ``keep_last`` runs (see :meth:`gc`).
+
+    Returns ``(surviving entries, kept runs, dropped keys)``.
+    """
+    kept_runs = runs[-keep_last:]
+    referenced: set[tuple[str, str]] = set()
+    for record in kept_runs:
+        for key in record["touched"]:
+            env, _, fp = key.partition(":")
+            referenced.add((env, fp))
+    stale = [key for key in entries if key not in referenced]
+    for key in stale:
+        del entries[key]
+    return entries, kept_runs, stale
 
 
 @dataclass(frozen=True)
@@ -127,14 +187,37 @@ class ObligationStore:
         self._touched: dict[tuple[str, str], None] = {}
         #: the persisted run log: one ``{"run": n, "touched": [...]}`` per run
         self._runs: list[dict] = []
+        #: remote mode only — ``(env, fp)`` keys a batched lookup already
+        #: checked against the server, found or not; a key in here but not in
+        #: ``_entries`` is a *known* miss and costs no further round-trip
+        self._remote_checked: set[tuple[str, str]] = set()
         self._load()
 
     @property
     def backend_name(self) -> str:
         return self.backend.name
 
+    @property
+    def is_remote(self) -> bool:
+        """Whether this session talks to a ``repro store serve`` instance.
+
+        A remote session mirrors only the entries it fetched or wrote;
+        read-modify-rewrite operations run server-side, under the wrapped
+        backend's lock, because ``update(fn)`` closures cannot cross the wire.
+        """
+        return not getattr(self.backend, "supports_update", True)
+
     # -- loading -----------------------------------------------------------------
     def _load(self) -> None:
+        if self.is_remote:
+            # no wholesale load: handshake (verifying the schema tag and, if
+            # one was demanded, the wrapped backend's identity), then the
+            # advisory cost index the scheduler orders cold obligations by
+            with trace.span("store.load", cat="store", backend=self.backend.name):
+                info = self.backend.handshake()
+                self._cost_index.update(self.backend.cost_hints())
+            self.skipped_records += int(info.get("skipped", 0))
+            return
         # shard children never wipe the shared store on a schema mismatch
         # (the parent already did, or will, before forking them)
         with trace.span("store.load", cat="store", backend=self.backend.name):
@@ -163,10 +246,44 @@ class ObligationStore:
     def lookup(self, env: str, fp: str) -> Optional[StoreEntry]:
         with trace.span("store.lookup", cat="store", fp=fp) as lookup_span:
             entry = self._entries.get((env, fp))
+            if (
+                entry is None
+                and self.is_remote
+                and (env, fp) not in self._remote_checked
+            ):
+                # unbatched fallback (one fetch per unseen key); the engine's
+                # :meth:`prefetch` is the batched fast path
+                fetched = self.backend.lookup(env, [fp])
+                self._remote_checked.add((env, fp))
+                if fetched:
+                    entry = fetched[0]
+                    self._entries[entry.key] = entry
+                    self._note_cost(entry)
             lookup_span.set(hit=entry is not None)
         if entry is not None:
             self._touched[entry.key] = None
         return entry
+
+    def prefetch(self, env: str, fps: list[str]) -> None:
+        """Batch-fetch a discharge batch's keys ahead of per-obligation lookups.
+
+        A no-op for local stores (every entry is already in memory); against a
+        remote store this turns N round-trips into one batched ``lookup`` RPC.
+        Keys the server does not hold are remembered as known misses.
+        """
+        if not self.is_remote:
+            return
+        missing = [
+            fp
+            for fp in dict.fromkeys(fps)
+            if (env, fp) not in self._entries and (env, fp) not in self._remote_checked
+        ]
+        if not missing:
+            return
+        for entry in self.backend.lookup(env, missing):
+            self._entries[entry.key] = entry
+            self._note_cost(entry)
+        self._remote_checked.update((env, fp) for fp in missing)
 
     def record(self, entry: StoreEntry) -> None:
         self._entries[entry.key] = entry
@@ -221,6 +338,12 @@ class ObligationStore:
         """
         if self.shard_output is not None:
             return
+        if self.is_remote:
+            # the server compacts under its own lock; our writes must be
+            # durably appended first so the rewrite sees them
+            self.flush()
+            self.backend.compact()
+            return
 
         def merge_session(entries, runs):
             entries.update(self._session_writes)
@@ -241,30 +364,43 @@ class ObligationStore:
         Entries of other scopes are never touched.
         """
 
-        def is_stale(entry: StoreEntry) -> bool:
-            return entry.scope == scope and (
-                entry.library != library_digest
-                or (entry.method == method and entry.spec != spec_digest)
-            )
-
-        if self.shard_output is not None or not any(
-            is_stale(entry) for entry in self._entries.values()
-        ):
-            # shard children never rewrite the shared log; and when this
+        local_stale = stale_entry_keys(
+            self._entries, scope, method, spec_digest, library_digest
+        )
+        if self.shard_output is not None or (not self.is_remote and not local_stale):
+            # shard children never rewrite the shared log; and when a local
             # session's view has nothing stale, skip the locked rewrite —
             # the overwhelmingly common (warm, unedited) case stays cheap
-            stale = [key for key, entry in self._entries.items() if is_stale(entry)]
-            for key in stale:
+            for key in local_stale:
                 del self._entries[key]
                 self._session_writes.pop(key, None)
-            return len(stale)
+            return len(local_stale)
+
+        if self.is_remote:
+            # the server drops stale entries under its lock; flush first so
+            # this session's (never-stale: they carry the current digests)
+            # writes are not raced by the rewrite, then retire the mirror's
+            # stale view — a dropped key is a *known* miss from here on
+            self.flush()
+            with trace.span("store.invalidate", cat="store"):
+                dropped = self.backend.invalidate(
+                    scope, method, spec_digest, library_digest
+                )
+            for key in local_stale:
+                del self._entries[key]
+                self._session_writes.pop(key, None)
+                self._remote_checked.add(key)
+            logger.debug(
+                "invalidated %d stale entries for %s.%s (remote)", dropped, scope, method
+            )
+            return dropped
 
         dropped = 0
 
         def drop_stale(entries, runs):
             nonlocal dropped
             entries.update(self._session_writes)
-            stale = [key for key, entry in entries.items() if is_stale(entry)]
+            stale = stale_entry_keys(entries, scope, method, spec_digest, library_digest)
             dropped = len(stale)
             for key in stale:
                 del entries[key]
@@ -290,7 +426,7 @@ class ObligationStore:
 
     def summary(self) -> dict[str, int]:
         return {
-            "entries": len(self._entries),
+            "entries": len(self),
             "hits": sum(c.hits for c in self.session.values()),
             "misses": sum(c.misses for c in self.session.values()),
             "invalidated": sum(c.invalidated for c in self.session.values()),
@@ -331,10 +467,17 @@ class ObligationStore:
         touched = sorted(f"{env}:{fp}" for env, fp in self._touched)
         logger.debug("committing run: %d touched entries", len(touched))
 
+        if self.is_remote:
+            # the server assigns the sequence number under its transaction;
+            # the idempotency key on the RPC keeps a retried commit from
+            # recording the run twice
+            with trace.span("store.commit_run", cat="store", touched=len(touched)):
+                self.backend.commit_run(touched)
+            self._touched.clear()
+            return len(touched)
+
         def append_run(entries, runs):
-            sequence = (runs[-1]["run"] + 1) if runs else 1
-            runs.append({"run": sequence, "touched": touched})
-            del runs[:-_MAX_RUN_RECORDS]
+            runs, _ = append_run_record(runs, touched)
             return entries, runs
 
         with trace.span("store.commit_run", cat="store", touched=len(touched)):
@@ -364,21 +507,23 @@ class ObligationStore:
         if self._touched:
             # an uncommitted session counts as the most recent run
             self.commit_run()
+        if self.is_remote:
+            dropped = self.backend.gc(keep_last)
+            # the client cannot know which mirrored entries survived the
+            # server-side sweep; forget the mirror and re-fetch lazily
+            self._entries.clear()
+            self._remote_checked.clear()
+            self._session_writes.clear()
+            self._pending.clear()
+            return dropped
         dropped = 0
 
         def sweep(entries, runs):
             nonlocal dropped
             entries.update(self._session_writes)
-            kept_runs = runs[-keep_last:]
-            referenced: set[tuple[str, str]] = set()
-            for record in kept_runs:
-                for key in record["touched"]:
-                    env, _, fp = key.partition(":")
-                    referenced.add((env, fp))
-            stale = [key for key in entries if key not in referenced]
+            entries, kept_runs, stale = sweep_unreferenced(entries, runs, keep_last)
             dropped = len(stale)
             for key in stale:
-                del entries[key]
                 self._session_writes.pop(key, None)
             return entries, kept_runs
 
@@ -431,9 +576,14 @@ class ObligationStore:
 
     # -- misc ------------------------------------------------------------------------
     def __len__(self) -> int:
+        if self.is_remote:
+            # the server's count, as of the most recent response carrying one
+            return self.backend.entries_total
         return len(self._entries)
 
     def __iter__(self) -> Iterator[StoreEntry]:
+        # remote sessions iterate their mirror: the entries fetched or
+        # written this session, not the server's full state
         return iter(self._entries.values())
 
     def entries_for_scope(self, scope: str) -> list[StoreEntry]:

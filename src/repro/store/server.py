@@ -1,0 +1,285 @@
+"""``repro store serve`` — a shared obligation-cache service over HTTP.
+
+A :class:`StoreService` wraps any *local* backend (jsonl directory or sqlite
+file) and executes the store-level operations a
+:class:`~repro.store.remote.RemoteStoreBackend` client sends — batched
+lookup, batched append, ``compact``, ``commit_run``, ``gc``,
+``invalidate`` — each under the wrapped backend's existing lock/transaction,
+so a CI fleet (or many watch sessions) on different machines hit one warm
+cache with exactly the local store's concurrency guarantees.
+
+Design notes:
+
+* The service keeps the store state in memory (loaded once at startup,
+  maintained through its own writes) so lookups cost no disk I/O; mutating
+  operations go to the backend *first* — durably, fsynced/transactional —
+  and only then update the cache, so a crash at any point loses nothing
+  that was acknowledged.  Read-modify-rewrite operations re-adopt the state
+  the backend re-read under its exclusive lock, which also self-heals the
+  cache if a local process wrote to the files behind the server's back.
+* Writes carry client idempotency keys; the service remembers recent keys
+  (with their responses) and replays the response instead of re-applying the
+  write, so a client retrying a request whose *response* was lost cannot
+  double-apply.  The key cache is in-memory: after a server restart a
+  replayed append merely re-UPSERTs identical content (entries are keyed),
+  and a replayed ``commit_run`` appends a fresh run record — both harmless.
+* All operations serialise on one lock.  HTTP handling itself is threaded
+  (:class:`ThreadingHTTPServer`), so slow clients never block the accept
+  loop, only the store critical section is serial.
+
+``REPRO_STORE_SERVE_CRASH`` is a fault-injection hook for the crash-recovery
+suite: set to ``"<op>:before"`` or ``"<op>:after"`` it hard-kills the server
+process (``os._exit``) immediately before or after that operation persists,
+exercising the client's retry/idempotency path deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..obs.logs import get_logger
+from .backends import SCHEMA_VERSION, LoadedState, StoreEntry, open_backend
+from .obligation_store import append_run_record, stale_entry_keys, sweep_unreferenced
+
+logger = get_logger("store")
+
+SERVER_NAME = "pymarple-store-serve/1"
+
+#: how many recent idempotency keys (and their responses) the service holds
+_MAX_IDEMPOTENCY_KEYS = 4096
+
+#: fault-injection hook for the crash-recovery tests (see module docstring)
+ENV_SERVE_CRASH = "REPRO_STORE_SERVE_CRASH"
+
+
+class UnknownOperation(Exception):
+    """The request path names no protocol operation."""
+
+
+class StoreService:
+    """Owns the wrapped backend, the in-memory state and the op lock."""
+
+    def __init__(self, path, backend: Optional[str] = None) -> None:
+        self.backend = open_backend(path, backend)
+        if not getattr(self.backend, "supports_update", True):
+            raise ValueError(
+                f"cannot serve {str(path)!r}: it is itself a remote store "
+                "URL; serve the local store the server should wrap"
+            )
+        self._lock = threading.Lock()
+        state = self.backend.load(wipe_mismatch=True)
+        self._entries = state.entries
+        self._runs = state.runs
+        self.skipped = state.skipped
+        self._seen: OrderedDict[str, dict] = OrderedDict()
+        self._crash = os.environ.get(ENV_SERVE_CRASH, "")
+
+    # -- plumbing -----------------------------------------------------------------
+    def _maybe_crash(self, op: str, when: str) -> None:
+        if self._crash == f"{op}:{when}":  # pragma: no cover - exits the process
+            logger.warning("fault injection: crashing %s %s", when, op)
+            os._exit(3)
+
+    def _adopt(self, state: LoadedState) -> None:
+        self._entries = state.entries
+        self._runs = state.runs
+
+    def execute(self, op: str, payload: dict) -> dict:
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise UnknownOperation(f"unknown store operation {op!r}")
+        with self._lock:
+            key = payload.get("key")
+            if isinstance(key, str) and key in self._seen:
+                self._seen.move_to_end(key)
+                logger.debug("replaying idempotent %s (key %s)", op, key)
+                return self._seen[key]
+            self._maybe_crash(op, "before")
+            result = handler(payload)
+            self._maybe_crash(op, "after")
+            if isinstance(key, str) and key:
+                self._seen[key] = result
+                while len(self._seen) > _MAX_IDEMPOTENCY_KEYS:
+                    self._seen.popitem(last=False)
+            return result
+
+    def close(self) -> None:
+        self.backend.close()
+
+    # -- protocol operations ------------------------------------------------------
+    def op_handshake(self, _payload: dict) -> dict:
+        return {
+            "server": SERVER_NAME,
+            "schema": SCHEMA_VERSION,
+            "backend": self.backend.name,
+            "path": str(self.backend.path),
+            "entries": len(self._entries),
+            "runs": len(self._runs),
+            "skipped": self.skipped,
+        }
+
+    def op_lookup(self, payload: dict) -> dict:
+        env = payload["env"]
+        fps = payload["fps"]
+        if not isinstance(env, str) or not isinstance(fps, list):
+            raise ValueError("lookup needs an 'env' string and an 'fps' list")
+        found = []
+        for fp in fps:
+            entry = self._entries.get((env, fp))
+            if entry is not None:
+                found.append(entry.to_record())
+        return {"found": found, "entries": len(self._entries)}
+
+    def op_cost_hints(self, _payload: dict) -> dict:
+        costs: dict[str, float] = {}
+        for entry in self._entries.values():
+            wall = entry.wall_cost
+            if wall is not None:
+                costs[entry.fp] = wall
+        return {"costs": costs, "entries": len(self._entries)}
+
+    def op_append(self, payload: dict) -> dict:
+        records = payload["entries"]
+        if not isinstance(records, list):
+            raise ValueError("append needs an 'entries' list")
+        batch = [StoreEntry.from_record(record) for record in records]
+        self.backend.append_entries(batch)
+        for entry in batch:
+            self._entries[entry.key] = entry
+        logger.debug("appended %d entries for a remote client", len(batch))
+        return {"appended": len(batch), "entries": len(self._entries)}
+
+    def op_compact(self, _payload: dict) -> dict:
+        state = self.backend.update(lambda entries, runs: (entries, runs), runs=False)
+        self._entries = state.entries
+        return {"entries": len(self._entries)}
+
+    def op_invalidate(self, payload: dict) -> dict:
+        scope = payload["scope"]
+        method = payload["method"]
+        spec_digest = payload["spec"]
+        library_digest = payload["library"]
+        dropped = 0
+
+        def drop_stale(entries, runs):
+            nonlocal dropped
+            stale = stale_entry_keys(entries, scope, method, spec_digest, library_digest)
+            dropped = len(stale)
+            for stale_key in stale:
+                del entries[stale_key]
+            return entries, runs
+
+        state = self.backend.update(drop_stale, runs=False)
+        self._entries = state.entries
+        return {"dropped": dropped, "entries": len(self._entries)}
+
+    def op_commit_run(self, payload: dict) -> dict:
+        touched = payload["touched"]
+        if not isinstance(touched, list) or not all(
+            isinstance(item, str) for item in touched
+        ):
+            raise ValueError("commit_run needs a 'touched' list of strings")
+        if not touched:
+            return {"run": 0, "entries": len(self._entries)}
+        sequence = 0
+
+        def append_run(entries, runs):
+            nonlocal sequence
+            runs, sequence = append_run_record(runs, touched)
+            return entries, runs
+
+        state = self.backend.update(append_run, entries=False)
+        self._runs = state.runs
+        return {"run": sequence, "entries": len(self._entries)}
+
+    def op_gc(self, payload: dict) -> dict:
+        keep_last = payload["keep_last"]
+        if not isinstance(keep_last, int) or keep_last < 1:
+            raise ValueError("gc requires keep_last >= 1")
+        dropped = 0
+
+        def sweep(entries, runs):
+            nonlocal dropped
+            entries, kept_runs, stale = sweep_unreferenced(entries, runs, keep_last)
+            dropped = len(stale)
+            return entries, kept_runs
+
+        self._adopt(self.backend.update(sweep))
+        return {"dropped": dropped, "entries": len(self._entries)}
+
+
+class _StoreRequestHandler(BaseHTTPRequestHandler):
+    server_version = SERVER_NAME
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, op: str, payload: dict) -> None:
+        try:
+            result = self.server.service.execute(op, payload)
+        except UnknownOperation as exc:
+            self._reply(404, {"error": str(exc)})
+        except (ValueError, KeyError, TypeError) as exc:
+            # malformed requests and validation failures are the client's
+            # fault and must not be retried
+            detail = str(exc) or type(exc).__name__
+            self._reply(400, {"error": detail})
+        except Exception as exc:  # pragma: no cover - defensive 5xx surface
+            logger.warning("store op %s failed: %s", op, exc)
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply(200, result)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        op = self.path.strip("/")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            self._reply(400, {"error": "request body is not JSON"})
+            return
+        if not isinstance(payload, dict):
+            self._reply(400, {"error": "request body must be a JSON object"})
+            return
+        self._dispatch(op, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        # the one curl-able endpoint: identity without a POST body
+        if self.path.strip("/") == "handshake":
+            self._dispatch("handshake", {})
+        else:
+            self._reply(404, {"error": "POST JSON to /<operation>"})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("http %s", format % args)
+
+
+class StoreHTTPServer(ThreadingHTTPServer):
+    """The serving loop: threaded HTTP in front of one :class:`StoreService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: StoreService) -> None:
+        super().__init__(address, _StoreRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::", ""):
+            host = "127.0.0.1"
+        return f"http://{host}:{port}"

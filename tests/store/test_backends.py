@@ -191,3 +191,90 @@ def test_store_summary_surfaces_corrupt_sqlite_rows(tmp_path):
     reloaded = ObligationStore(tmp_path / "store.db")
     assert {e.fp for e in reloaded} == {"fp1"}
     assert reloaded.summary()["skipped"] == 1
+
+
+# -- failure paths (regression coverage for the PR-9 satellite fixes) --------------
+
+
+def test_txn_rollback_failure_does_not_mask_the_original_error(tmp_path):
+    """A failing ROLLBACK must re-raise the exception that aborted the txn.
+
+    Pre-fix, ``_txn``'s bare ``conn.execute("ROLLBACK")`` in the except
+    branch raised its own sqlite error (here: operating on a closed
+    connection) and *that* propagated, burying the actual failure.
+    """
+    backend = SqliteStoreBackend(tmp_path / "store.db")
+    backend.load(wipe_mismatch=True)
+    with pytest.raises(RuntimeError, match="the real failure"):
+        with backend._txn() as conn:
+            conn.close()  # makes the rollback itself blow up
+            raise RuntimeError("the real failure")
+    backend._conn = None  # the connection object is dead; forget it
+
+
+def test_failed_migration_closes_both_backends(tmp_path, monkeypatch):
+    """A migration that dies mid-copy must not leak either backend.
+
+    Pre-fix, ``migrate_store`` had no ``finally``: an exception out of
+    load/update left the source sqlite connection (and the half-initialised
+    destination) open for the life of the process.
+    """
+    _populate(tmp_path / "src.db", "sqlite")
+    closes = []
+    sqlite_close = SqliteStoreBackend.close
+    jsonl_close = JsonlStoreBackend.close
+    monkeypatch.setattr(
+        SqliteStoreBackend, "close", lambda self: (closes.append("sqlite"), sqlite_close(self))[1]
+    )
+    monkeypatch.setattr(
+        JsonlStoreBackend, "close", lambda self: (closes.append("jsonl"), jsonl_close(self))[1]
+    )
+    monkeypatch.setattr(
+        JsonlStoreBackend,
+        "update",
+        lambda self, fn, *, entries=True, runs=True: (_ for _ in ()).throw(
+            RuntimeError("disk full")
+        ),
+    )
+    with pytest.raises(RuntimeError, match="disk full"):
+        migrate_store(tmp_path / "src.db", tmp_path / "dst", destination_backend="jsonl")
+    assert closes == ["sqlite", "jsonl"]
+
+
+def test_migration_rejects_identical_paths_before_opening_anything(tmp_path, monkeypatch):
+    """The same-path rejection happens before either backend is instantiated."""
+    _populate(tmp_path / "store.db", "sqlite")
+
+    def forbidden(self, path):
+        raise AssertionError("no backend may be constructed for a rejected migration")
+
+    monkeypatch.setattr(SqliteStoreBackend, "__init__", forbidden)
+    alias = tmp_path / "sub" / ".." / "store.db"
+    (tmp_path / "sub").mkdir()
+    with pytest.raises(ValueError, match="distinct"):
+        migrate_store(tmp_path / "store.db", alias)
+
+
+def test_conflicting_path_and_backend_directives_are_an_error(tmp_path):
+    """``sqlite:`` path + explicit other backend: refuse, don't silently pick.
+
+    Pre-fix, the explicit argument silently won after the prefix was already
+    stripped, so ``sqlite:foo`` + ``--store-backend jsonl`` opened a jsonl
+    store at ``foo`` — the caller's two directives disagreed and neither was
+    honoured as written.
+    """
+    with pytest.raises(ValueError, match="conflicting directives"):
+        resolve_store_backend(f"sqlite:{tmp_path / 'store'}", "jsonl")
+    # a still-unknown backend name keeps the existing diagnosis
+    with pytest.raises(ValueError, match="unknown store backend"):
+        resolve_store_backend(f"sqlite:{tmp_path / 'store'}", "parquet")
+    # agreement is not a conflict
+    assert resolve_store_backend(f"sqlite:{tmp_path / 'store'}", "sqlite")[0] == "sqlite"
+
+
+def test_migration_rejects_remote_stores(tmp_path):
+    _populate(tmp_path / "src", "jsonl")
+    with pytest.raises(ValueError, match="local stores"):
+        migrate_store(tmp_path / "src", "http://127.0.0.1:1/")
+    with pytest.raises(ValueError, match="local stores"):
+        migrate_store("https://cache.example/", tmp_path / "dst")

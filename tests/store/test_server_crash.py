@@ -1,0 +1,206 @@
+"""Crash recovery: kill the server mid-protocol, restart it, lose nothing.
+
+Each scenario runs ``repro store serve`` as a real subprocess with the
+``REPRO_STORE_SERVE_CRASH`` fault injection armed, so the process dies with
+``os._exit`` at an exact protocol point — before a write persists, after it
+persists but before the response leaves, and between a client's append and
+its commit_run.  A restarted server (same port, no fault) then absorbs the
+client's retries.  The acceptance bar in every case: the client call returns
+success, and the store holds exactly the expected entries and run records —
+zero lost, zero duplicated, zero torn.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.store.backends import StoreEntry, open_backend
+from repro.store.remote import (
+    ENV_RPC_BACKOFF,
+    ENV_RPC_RETRIES,
+    ENV_RPC_TIMEOUT,
+    RemoteStoreBackend,
+)
+from repro.store.server import ENV_SERVE_CRASH
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _entry(fp):
+    return StoreEntry(
+        env="crash-env",
+        fp=fp,
+        included=True,
+        solver_stats={"queries": 1},
+        scope="Set/KVStore",
+        method="insert",
+        spec="s1",
+        library="l1",
+    )
+
+
+def _spawn_server(store_path, tmp_path, *, port=0, crash=""):
+    """Start ``repro store serve`` and wait until its ready-file appears."""
+    ready = tmp_path / f"ready-{port}-{crash.replace(':', '-')}-{time.time_ns()}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if crash:
+        env[ENV_SERVE_CRASH] = crash
+    else:
+        env.pop(ENV_SERVE_CRASH, None)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "store", "serve",
+            "--store", str(store_path),
+            "--port", str(port),
+            "--ready-file", str(ready),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            return process, ready.read_text().strip()
+        if process.poll() is not None:
+            raise RuntimeError(f"server died at startup (exit {process.returncode})")
+        time.sleep(0.02)
+    process.kill()
+    raise RuntimeError("server never wrote its ready file")
+
+
+@pytest.fixture
+def patient_client(monkeypatch):
+    """RPC knobs generous enough to ride out a full server restart."""
+    monkeypatch.setenv(ENV_RPC_RETRIES, "60")
+    monkeypatch.setenv(ENV_RPC_BACKOFF, "0.05")
+    monkeypatch.setenv(ENV_RPC_TIMEOUT, "5")
+    return RemoteStoreBackend
+
+
+def _crash_and_restart(store_path, tmp_path, crash, call):
+    """Run ``call(client)`` against a crashing server; restart; return result.
+
+    The client call runs in a worker thread (its retry loop spans the
+    outage); the main thread watches the armed server die and brings up the
+    replacement on the same port.
+    """
+    process, url = _spawn_server(store_path, tmp_path, crash=crash)
+    port = int(url.rsplit(":", 1)[1])
+    client = RemoteStoreBackend(url)
+    client.handshake()  # before the fault trips: the server is genuinely up
+
+    outcome = {}
+
+    def run_call():
+        try:
+            outcome["result"] = call(client)
+        except BaseException as exc:  # surfaced to the main thread below
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=run_call)
+    worker.start()
+    assert process.wait(timeout=30) == 3, "the fault injection must os._exit(3)"
+
+    replacement = None
+    try:
+        # the port just freed; a bind can still race the kernel briefly
+        for attempt in range(20):
+            try:
+                replacement, _ = _spawn_server(store_path, tmp_path, port=port)
+                break
+            except RuntimeError:
+                time.sleep(0.1)
+        else:
+            raise RuntimeError(f"could not rebind port {port}")
+        worker.join(timeout=60)
+        assert not worker.is_alive(), "the client retried forever"
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["result"]
+    finally:
+        if replacement is not None:
+            replacement.send_signal(signal.SIGTERM)
+            replacement.wait(timeout=15)
+
+
+def _disk_state(store_path):
+    backend = open_backend(store_path)
+    try:
+        return backend.load(wipe_mismatch=False)
+    finally:
+        backend.close()
+
+
+def test_crash_before_the_append_persists(store_path, tmp_path, patient_client):
+    """The write was lost with the server: the retry must land it."""
+    _crash_and_restart(
+        store_path,
+        tmp_path,
+        "append:before",
+        lambda client: client.append_entries([_entry("f1"), _entry("f2")]),
+    )
+    state = _disk_state(store_path)
+    assert set(state.entries) == {("crash-env", "f1"), ("crash-env", "f2")}
+    assert state.skipped == 0
+
+
+def test_crash_after_the_append_persists(store_path, tmp_path, patient_client):
+    """Only the *response* was lost: the keyed retry must not double-apply."""
+    _crash_and_restart(
+        store_path,
+        tmp_path,
+        "append:after",
+        lambda client: client.append_entries([_entry("f1")]),
+    )
+    state = _disk_state(store_path)
+    assert set(state.entries) == {("crash-env", "f1")}
+    assert state.skipped == 0
+
+
+def test_crash_between_append_and_commit_run(store_path, tmp_path, patient_client):
+    """Kill the server after the entries land but before the run commits."""
+
+    def append_then_commit(client):
+        client.append_entries([_entry("f1")])  # crash arms on commit_run only
+        return client.commit_run(["crash-env:f1"])
+
+    run = _crash_and_restart(
+        store_path, tmp_path, "commit_run:before", append_then_commit
+    )
+    assert run == 1
+    state = _disk_state(store_path)
+    assert set(state.entries) == {("crash-env", "f1")}, "the append survived the crash"
+    assert [record["run"] for record in state.runs] == [1], "exactly one run record"
+    assert state.runs[0]["touched"] == ["crash-env:f1"]
+    assert state.skipped == 0
+
+
+def test_a_warm_client_after_recovery_sees_everything(
+    store_path, tmp_path, patient_client
+):
+    """End to end: recover from a mid-append crash, then warm-read it all."""
+    _crash_and_restart(
+        store_path,
+        tmp_path,
+        "append:before",
+        lambda client: client.append_entries([_entry("f1")]),
+    )
+    process, url = _spawn_server(store_path, tmp_path)
+    try:
+        from repro.store.obligation_store import ObligationStore
+
+        warm = ObligationStore(url)
+        warm.prefetch("crash-env", ["f1"])
+        assert warm.lookup("crash-env", "f1") is not None
+        assert warm.summary()["skipped"] == 0
+    finally:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=15)

@@ -1,0 +1,242 @@
+"""The store service over real sockets: every protocol op, both backends.
+
+An in-process :class:`StoreHTTPServer` wraps each local backend in turn
+(the ``store_backend`` fixture parametrises the environment) and a real
+:class:`RemoteStoreBackend` talks to it over the loopback, so these tests
+cover exactly the bytes that cross the wire in production — plus the
+hand-rolled HTTP corners (404/400, GET, non-JSON bodies) and server-side
+idempotency replay.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.store.backends import SCHEMA_VERSION, StoreEntry, open_backend
+from repro.store.obligation_store import ObligationStore
+from repro.store.remote import RemoteStoreBackend, RemoteStoreError
+from repro.store.server import StoreHTTPServer, StoreService
+
+
+@pytest.fixture
+def server(store_path):
+    service = StoreService(store_path)
+    httpd = StoreHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    thread.join()
+    httpd.server_close()
+    service.close()
+
+
+@pytest.fixture
+def client(server):
+    return RemoteStoreBackend(server.url)
+
+
+def _entry(fp, env="env1", **overrides):
+    fields = dict(
+        env=env,
+        fp=fp,
+        included=True,
+        solver_stats={"queries": 2},
+        inclusion_stats={"fa_inclusion_checks": 1},
+        scope="Set/KVStore",
+        method="insert",
+        spec="s1",
+        library="l1",
+        kind="postcondition",
+        provenance="insert: postcondition",
+        cost={"wall": 0.5},
+    )
+    fields.update(overrides)
+    return StoreEntry(**fields)
+
+
+def _raw(server, method, path, body=None):
+    conn = http.client.HTTPConnection(*server.server_address[:2], timeout=5)
+    try:
+        conn.request(
+            method,
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+# -- the operations ----------------------------------------------------------------
+
+
+def test_handshake_reports_the_wrapped_store(server, client, store_backend):
+    info = client.handshake()
+    assert info["schema"] == SCHEMA_VERSION
+    assert info["backend"] == store_backend
+    assert info["entries"] == 0 and info["runs"] == 0 and info["skipped"] == 0
+    # and GET works for humans with curl
+    status, payload = _raw(server, "GET", "/handshake")
+    assert status == 200 and payload["backend"] == store_backend
+
+
+def test_append_then_lookup_roundtrips_entries(client):
+    original = _entry("f1")
+    client.append_entries([original, _entry("f2", included=False)])
+    found = client.lookup("env1", ["f1", "missing", "f2"])
+    assert {e.fp for e in found} == {"f1", "f2"}
+    echoed = next(e for e in found if e.fp == "f1")
+    assert echoed.to_json() == original.to_json(), "the wire is lossless"
+    assert client.entries_total == 2
+    assert client.lookup("other-env", ["f1"]) == [], (
+        "environment fingerprints partition the remote store too"
+    )
+
+
+def test_appends_are_durable_not_just_cached(server, client, store_path):
+    client.append_entries([_entry("f1")])
+    behind = open_backend(store_path)
+    try:
+        state = behind.load(wipe_mismatch=False)
+    finally:
+        behind.close()
+    assert ("env1", "f1") in state.entries, "the backend is written before the ack"
+
+
+def test_cost_hints_cover_the_whole_store(client):
+    client.append_entries([_entry("f1", cost={"wall": 0.5}), _entry("f2", cost={})])
+    assert client.cost_hints() == {"f1": 0.5}
+
+
+def test_commit_run_and_gc_share_the_local_semantics(client):
+    client.append_entries([_entry("f1"), _entry("f2")])
+    assert client.commit_run(["env1:f1"]) == 1
+    assert client.commit_run(["env1:f1", "env1:f2"]) == 2
+    assert client.commit_run([]) == 0, "an empty session records no run"
+    # keep the last run only: f1 and f2 are both referenced there
+    assert client.gc(1) == 0
+    # a run referencing only f1, then keep-last 1 → f2 is swept
+    assert client.commit_run(["env1:f1"]) == 3
+    assert client.gc(1) == 1
+    assert {e.fp for e in client.lookup("env1", ["f1", "f2"])} == {"f1"}
+
+
+def test_invalidate_drops_exactly_the_stale_scope(client):
+    client.append_entries(
+        [
+            _entry("f1", spec="old"),
+            _entry("f2", method="other-method", spec="irrelevant"),
+            _entry("f3", scope="Stack/KVStore", spec="old"),
+        ]
+    )
+    dropped = client.invalidate("Set/KVStore", "insert", "new-spec", "l1")
+    assert dropped == 1
+    assert {e.fp for e in client.lookup("env1", ["f1", "f2", "f3"])} == {"f2", "f3"}
+
+
+def test_compact_keeps_the_entries(client):
+    client.append_entries([_entry("f1")])
+    client.compact()
+    assert [e.fp for e in client.lookup("env1", ["f1"])] == ["f1"]
+
+
+def test_the_server_self_heals_from_out_of_band_writes(server, client, store_path):
+    """A rewrite op re-adopts whatever the backend re-read under its lock."""
+    behind = open_backend(store_path)
+    try:
+        behind.append_entries([_entry("sneaked")])
+    finally:
+        behind.close()
+    assert client.lookup("env1", ["sneaked"]) == [], "the cache is stale on purpose"
+    client.compact()  # any read-modify-rewrite resynchronises
+    assert [e.fp for e in client.lookup("env1", ["sneaked"])] == ["sneaked"]
+
+
+# -- idempotency replay ------------------------------------------------------------
+
+
+def test_a_replayed_write_is_applied_once(server, client):
+    """Same key, same op → the recorded response, not a second application."""
+    key = "test-key-1"
+    first = server.service.execute(
+        "commit_run", {"touched": ["env1:f1"], "key": key}
+    )
+    replay = server.service.execute(
+        "commit_run", {"touched": ["env1:f1"], "key": key}
+    )
+    assert replay == first
+    fresh = server.service.execute("commit_run", {"touched": ["env1:f1"], "key": "k2"})
+    assert fresh["run"] == first["run"] + 1, "exactly one run slipped in between"
+
+
+def test_idempotency_keys_are_bounded(server, monkeypatch):
+    monkeypatch.setattr("repro.store.server._MAX_IDEMPOTENCY_KEYS", 4)
+    for index in range(8):
+        server.service.execute("append", {"entries": [], "key": f"k{index}"})
+    assert len(server.service._seen) == 4
+    assert "k7" in server.service._seen and "k0" not in server.service._seen
+
+
+# -- protocol corners --------------------------------------------------------------
+
+
+def test_unknown_operations_get_404(server):
+    status, payload = _raw(server, "POST", "/definitely-not-an-op", b"{}")
+    assert status == 404 and "unknown" in payload["error"]
+    status, _ = _raw(server, "GET", "/lookup")
+    assert status == 404, "only the handshake is GET-able"
+
+
+def test_malformed_requests_get_400(server):
+    status, payload = _raw(server, "POST", "/lookup", b"this is not json")
+    assert status == 400 and "JSON" in payload["error"]
+    status, _ = _raw(server, "POST", "/lookup", b"[1, 2]")
+    assert status == 400
+    # a well-formed body failing validation is still the client's fault
+    status, payload = _raw(server, "POST", "/lookup", json.dumps({"env": 5, "fps": []}).encode())
+    assert status == 400
+    status, payload = _raw(server, "POST", "/gc", json.dumps({"keep_last": 0}).encode())
+    assert status == 400 and "keep_last" in payload["error"]
+    status, _ = _raw(server, "POST", "/append", json.dumps({"entries": [{"bogus": 1}]}).encode())
+    assert status == 400, "an undecodable entry must not 500 (and must not be retried)"
+
+
+def test_client_surfaces_validation_errors_without_retry(client):
+    with pytest.raises(RemoteStoreError, match="keep_last"):
+        client.gc(0)
+
+
+# -- service construction ----------------------------------------------------------
+
+
+def test_the_service_refuses_to_wrap_a_remote_url():
+    with pytest.raises(ValueError, match="remote"):
+        StoreService("http://127.0.0.1:1")
+
+
+def test_the_facade_end_to_end_over_both_backends(server, store_backend):
+    """ObligationStore against the URL behaves like the local facade."""
+    cold = ObligationStore(server.url)
+    assert cold.backend_name == "remote"
+    assert cold.lookup("env1", "f1") is None
+    cold.record(_entry("f1"))
+    cold.flush()
+    assert cold.commit_run() == 1
+
+    warm = ObligationStore(server.url, backend=store_backend)  # expectation holds
+    warm.prefetch("env1", ["f1"])
+    hit = warm.lookup("env1", "f1")
+    assert hit is not None and hit.cost == {"wall": 0.5}
+    assert warm.cost_hint("f1") == 0.5, "the cost index travels at open"
+    assert len(warm) == 1 and warm.summary()["entries"] == 1
+
+
+def test_the_facade_rejects_a_wrong_backend_expectation(server, store_backend):
+    other = "sqlite" if store_backend == "jsonl" else "jsonl"
+    with pytest.raises(RemoteStoreError, match="requested explicitly"):
+        ObligationStore(server.url, backend=other)
