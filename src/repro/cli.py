@@ -34,6 +34,7 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from .engine.dispatch import DispatchError
 from .engine.scheduler import SCHEDULE_MODES
 from .evaluation import render_all, report_json, run_evaluation, table1, table2, table3, table4
 from .obs import trace as obs_trace
@@ -230,15 +231,24 @@ def _finish_store(store: Optional[ObligationStore]) -> None:
         store.commit_run()
 
 
-def _note_trace_counters(caches: dict) -> None:
+def _note_trace_counters(caches: dict, store: Optional[ObligationStore] = None) -> None:
     """Stash run-level cache totals on the active tracer, if any.
 
     They land in the trace file's trailing ``counters`` record, which is
-    what ``repro trace report`` prints its cache-rate block from.
+    what ``repro trace report`` prints its cache-rate block from.  A remote
+    store session also contributes the server's ``/stats`` snapshot (per-op
+    counts, lookup hit rate, queue counters) under the ``store`` key.
     """
     tracer = obs_trace.active()
-    if tracer is not None:
-        tracer.counters = {"caches": caches}
+    if tracer is None:
+        return
+    counters: dict = {"caches": caches}
+    if store is not None and store.is_remote:
+        try:
+            counters["store"] = store.backend.stats()
+        except RemoteStoreError:
+            pass  # metrics are best-effort; never fail the run over them
+    tracer.counters = counters
 
 
 def _print_store_report(store: ObligationStore, explain: bool) -> None:
@@ -291,7 +301,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "VERIFIED" if result.verified else f"REJECTED: {result.error}"
         print(f"{benchmark.key}.{args.method}: {status}")
         print(f"  {result.stats.as_row()}")
-        _note_trace_counters(checker.run_diagnostics()["caches"])
+        _note_trace_counters(checker.run_diagnostics()["caches"], store)
         _finish_store(store)
         if store is not None:
             _print_store_report(store, args.explain)
@@ -301,7 +311,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         status = "ok" if result.verified else f"FAILED ({result.error})"
         print(f"  {result.method:>20}: {status}")
     print(f"{benchmark.key}: all verified = {stats.all_verified}")
-    _note_trace_counters(checker.run_diagnostics()["caches"])
+    _note_trace_counters(checker.run_diagnostics()["caches"], store)
     _finish_store(store)
     if store is not None:
         _print_store_report(store, args.explain)
@@ -310,8 +320,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    distributed = getattr(args, "distributed", False) or args.command == "dispatch"
+    if distributed and not getattr(args, "store", None):
+        print(
+            "error: distributed evaluation needs --store http://host:port "
+            "(a `repro store serve` instance)",
+            file=sys.stderr,
+        )
+        return 2
     store = _open_store(args, config)
-    if args.shards > 1:
+    if distributed:
+        from .engine.dispatch import run_distributed_evaluation
+
+        try:
+            report = run_distributed_evaluation(
+                store,
+                include_slow=not args.fast,
+                config=config,
+                local_workers=getattr(args, "local_workers", 0),
+                ttl=getattr(args, "lease_ttl", 30.0),
+                drain_timeout=getattr(args, "drain_timeout", 600.0),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.shards > 1:
         from .store.shard import run_sharded_evaluation
 
         report = run_sharded_evaluation(
@@ -319,7 +352,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
     else:
         report = run_evaluation(include_slow=not args.fast, config=config, store=store)
-    _note_trace_counters(report.cache_totals())
+    _note_trace_counters(report.cache_totals(), store)
     _finish_store(store)
     ok = report.all_verified and report.all_negatives_rejected
     if args.json:
@@ -346,7 +379,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     store = _open_store(args, config)
     report = run_evaluation(include_slow=not args.fast, config=config, store=store)
-    _note_trace_counters(report.cache_totals())
+    _note_trace_counters(report.cache_totals(), store)
     _finish_store(store)
     if args.json:
         from .evaluation.tables import TABLE3_ADTS, TABLE4_ADTS
@@ -376,6 +409,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             runs=1 if args.quick else args.runs,
             config=config,
             ab=args.ab,
+            dispatch_ab=args.dispatch_ab,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -544,6 +578,83 @@ def _cmd_store_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    """Print a store server's ``/stats`` snapshot (metrics-layer slice)."""
+    from .store.remote import RemoteStoreBackend
+
+    try:
+        backend = RemoteStoreBackend(args.url)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        backend.handshake()
+        stats = backend.stats()
+    except RemoteStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    lookup = stats.get("lookup", {})
+    requested = lookup.get("requested", 0)
+    found = lookup.get("found", 0)
+    rate = f"{found / requested:.1%}" if requested else "n/a"
+    print(f"store server {args.url}")
+    print(
+        f"  uptime {stats.get('uptime_seconds', 0):.0f}s, "
+        f"{stats.get('entries', 0)} entries, {stats.get('runs', 0)} runs, "
+        f"{stats.get('idempotency_clients', 0)} known clients"
+    )
+    print(f"  lookup hit rate: {rate} ({found}/{requested})")
+    queue = stats.get("queue", {})
+    print(
+        f"  queue: {queue.get('pending', 0)} pending, {queue.get('leased', 0)} "
+        f"leased, {queue.get('leases', 0)} active leases"
+    )
+    for counter, value in sorted(queue.get("counters", {}).items()):
+        print(f"    {counter}: {value}")
+    ops = stats.get("ops", {})
+    if ops:
+        print("  per-op (count / replays / seconds):")
+        for op, record in sorted(ops.items()):
+            print(
+                f"    {op:>14}: {record.get('count', 0):>6} / "
+                f"{record.get('replays', 0):>4} / {record.get('seconds', 0.0):.3f}s"
+            )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one pull-based discharge worker against a store server."""
+    from .engine.worker import run_worker
+
+    config = _config_from_args(args)
+    try:
+        stats = run_worker(
+            args.store,
+            config=config,
+            batch=args.batch,
+            ttl=args.ttl,
+            poll=args.poll,
+            idle_exit=args.idle_exit,
+            max_batches=args.max_batches,
+            worker_id=args.worker_id,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"worker done: {stats.leases} leases, {stats.items} items, "
+        f"{stats.completed} completed, {stats.benchmarks_run} benchmark walks"
+        + (f", {stats.abandoned} abandoned" if stats.abandoned else "")
+        + (f", {stats.unknown_benchmarks} unknown" if stats.unknown_benchmarks else "")
+    )
+    return 0
+
+
 def _cmd_store_migrate(args: argparse.Namespace) -> int:
     try:
         source_name, _ = resolve_store_backend(args.source, args.from_backend)
@@ -594,6 +705,30 @@ def build_parser() -> argparse.ArgumentParser:
         _add_obs_flags(check)
         check.set_defaults(func=_cmd_check)
 
+    def _add_dispatch_flags(parser: argparse.ArgumentParser) -> None:
+        group = parser.add_argument_group("distributed discharge")
+        group.add_argument(
+            "--local-workers",
+            type=int,
+            default=0,
+            metavar="N",
+            help="also fork N pull-based workers locally (0 = external fleet only)",
+        )
+        group.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=30.0,
+            metavar="SEC",
+            help="lease deadline workers run under; expired leases are re-issued (default: 30)",
+        )
+        group.add_argument(
+            "--drain-timeout",
+            type=float,
+            default=600.0,
+            metavar="SEC",
+            help="give up (exit 2) if the queue hasn't drained in SEC; work done stays durable",
+        )
+
     evaluate = sub.add_parser("evaluate", help="run the full evaluation")
     evaluate.add_argument("--fast", action="store_true", help="skip the slow benchmarks")
     evaluate.add_argument(
@@ -603,11 +738,71 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="partition the corpus's obligations across N processes (implies a store)",
     )
+    evaluate.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "enqueue cold obligations on the store server's work queue for a "
+            "pull-based worker fleet, then assemble the (byte-identical) "
+            "report from the store (requires --store http://host:port)"
+        ),
+    )
     evaluate.add_argument("--json", action="store_true", help="emit a machine-readable report")
+    _add_dispatch_flags(evaluate)
     _add_checker_flags(evaluate)
     _add_store_flags(evaluate)
     _add_obs_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="distributed evaluation: enqueue obligations for `repro worker` pullers",
+    )
+    dispatch.add_argument("--fast", action="store_true", help="skip the slow benchmarks")
+    dispatch.add_argument("--json", action="store_true", help="emit a machine-readable report")
+    _add_dispatch_flags(dispatch)
+    _add_checker_flags(dispatch)
+    _add_store_flags(dispatch)
+    _add_obs_flags(dispatch)
+    dispatch.set_defaults(func=_cmd_evaluate, shards=1, distributed=True)
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull-based discharge worker: lease, discharge, complete until drained",
+    )
+    worker.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="http://host:port of the `store serve` instance owning the queue",
+    )
+    worker.add_argument(
+        "--batch", type=int, default=8, metavar="N",
+        help="items per lease (default: 8)",
+    )
+    worker.add_argument(
+        "--ttl", type=float, default=30.0, metavar="SEC",
+        help="lease deadline; extended between benchmarks (default: 30)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SEC",
+        help="sleep between empty leases (default: 0.5)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=int, default=3, metavar="N",
+        help="exit after N consecutive empty leases (default: 3)",
+    )
+    worker.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        help="stop after N leases (default: run until drained)",
+    )
+    worker.add_argument(
+        "--worker-id", metavar="ID",
+        help="stable identity reported in leases/spans (default: host:pid:rand)",
+    )
+    _add_checker_flags(worker)
+    _add_obs_flags(worker)
+    worker.set_defaults(func=_cmd_worker)
 
     bench = sub.add_parser(
         "bench",
@@ -648,6 +843,15 @@ def build_parser() -> argparse.ArgumentParser:
             "also time cold runs in the other discharge mode (batch vs lazy) "
             "and record the comparison — including a byte-identity check of "
             "the deterministic tables — in the payload"
+        ),
+    )
+    bench.add_argument(
+        "--dispatch-ab",
+        action="store_true",
+        help=(
+            "also run the straggler-skew dispatch microbench (static hash "
+            "shards vs work-stealing queue over an in-process store server) "
+            "and record the makespan comparison in the payload"
         ),
     )
     _add_checker_flags(bench)
@@ -709,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound URL here once serving — the up-signal for scripts",
     )
     serve.set_defaults(func=_cmd_store_serve)
+    stats = store_sub.add_parser(
+        "stats",
+        help="print a store server's per-op counts, lookup hit rate and queue state",
+    )
+    stats.add_argument("url", help="http://host:port of the `store serve` instance")
+    stats.add_argument("--json", action="store_true", help="emit the raw stats JSON")
+    stats.set_defaults(func=_cmd_store_stats)
     migrate = store_sub.add_parser(
         "migrate",
         help="copy a store losslessly between the jsonl and sqlite backends",
@@ -811,7 +1022,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"trace written to {trace_path}", file=sys.stderr)
             return status
         return args.func(args)
-    except RemoteStoreError as exc:
+    except (RemoteStoreError, DispatchError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

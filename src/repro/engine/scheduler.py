@@ -78,6 +78,11 @@ class EngineStats(MergeableStats):
     store_misses: int = 0
     #: representatives assigned to another shard (not discharged here)
     shard_skipped: int = 0
+    #: store misses reported to a dispatch coordinator's collect sink
+    #: instead of being discharged here (``evaluate --distributed`` phase 1)
+    dispatch_collected: int = 0
+    #: representatives outside a worker's leased ``only`` set (not ours)
+    dispatch_skipped: int = 0
     #: representatives ordered by a recorded store cost (vs. the syntactic
     #: estimate fallback) — order is advisory, so this is bookkeeping only
     cost_hints_used: int = 0
@@ -329,11 +334,15 @@ class ObligationEngine:
         alphabet_memo: Optional[AlphabetMemo] = None,
         derivative_cache: Optional[DerivativeCache] = None,
         library: Optional[str] = None,
+        only: Optional[frozenset] = None,
+        collect: Optional[Callable[[Optional[str], str, Optional[float], float], None]] = None,
     ) -> None:
         if schedule not in SCHEDULE_MODES:
             raise ValueError(
                 f"unknown schedule mode {schedule!r}; expected one of {SCHEDULE_MODES}"
             )
+        if collect is not None and store is None:
+            raise ValueError("dispatch collection requires a store to key against")
         if discharge == "batch" and alphabet_memo is None:
             # batch grouping IS the memo's content key; a standalone engine
             # gets a private memo (hermetic builds + recorded bills, exactly
@@ -360,6 +369,14 @@ class ObligationEngine:
             if not (count >= 1 and 0 <= index < count):
                 raise ValueError(f"invalid shard assignment {shard!r}")
         self.shard = shard
+        #: dispatch-worker mode: discharge only these obligation digests and
+        #: vacuously skip the rest (same contract as a shard slice, but the
+        #: membership comes from a queue lease instead of a hash)
+        self.only = only
+        #: dispatch-coordinator mode: report each store miss to this sink —
+        #: ``collect(env_fp, digest, cost_hint, estimate)`` — instead of
+        #: discharging it; the report is discarded like a shard run's
+        self.collect = collect
         #: the semantic-environment key store entries are read/written under;
         #: worker count, shard assignment, scheduling order and the memo
         #: layers deliberately don't participate (none changes a counter).
@@ -474,7 +491,10 @@ class ObligationEngine:
                 continue
             digest = (
                 obligation_digest(representative)
-                if self.store is not None or self.shard is not None
+                if self.store is not None
+                or self.shard is not None
+                or self.only is not None
+                or self.collect is not None
                 else None
             )
             if self.store is not None:
@@ -510,6 +530,26 @@ class ObligationEngine:
                     skipped_keys.add(key)
                     verdicts[key] = (True, None, None)
                     continue
+            if self.collect is not None:
+                # coordinator collect pass: every store miss goes to the
+                # dispatch sink (with the best cost signal available) and is
+                # vacuously skipped here — workers will discharge it, and
+                # this run's report is discarded like a shard run's
+                self.stats.dispatch_collected += 1
+                skipped_keys.add(key)
+                verdicts[key] = (True, None, None)
+                hint = self.store.cost_hint(digest) if self.store is not None else None
+                self.collect(
+                    self._env_fp, digest, hint, representative.cost_estimate()
+                )
+                continue
+            if self.only is not None and digest not in self.only:
+                # dispatch-worker pass: this obligation belongs to another
+                # lease — vacuous skip, exactly like a foreign shard slice
+                self.stats.dispatch_skipped += 1
+                skipped_keys.add(key)
+                verdicts[key] = (True, None, None)
+                continue
             if self.store is not None:
                 self.stats.store_misses += 1
             fresh.append((representative, digest))

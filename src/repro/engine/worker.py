@@ -1,0 +1,219 @@
+"""The pull-based discharge worker behind ``repro worker --store URL``.
+
+A worker is a long-lived loop against a ``repro store serve`` instance:
+
+1. **lease** a batch of queue items (cost-ordered by the server — LPT at
+   dequeue), each item a ``(env, fp, bench)`` triple;
+2. **materialise** the obligations by re-running the named benchmark's emit
+   walk with ``only_digests`` set — obligations are hash-consed in-memory
+   objects, so only the recipe to re-emit them crosses the wire; everything
+   outside the leased set is vacuously skipped, exactly like a foreign
+   shard slice;
+3. **discharge** the leased obligations with the ordinary engine (batch or
+   lazy mode, memo layers intact) and write verdicts back through the
+   normal store path — appends carry ``if_absent``, so a worker whose lease
+   was stolen and re-discharged elsewhere can never land a duplicate
+   verdict record;
+4. **complete** the lease only after the verdicts are durably flushed —
+   a worker killed at any earlier point merely lets its lease expire, and
+   the items are re-issued to a live worker (work stealing).
+
+Determinism rides on the same invariant as ``--shards``: per-obligation
+counters are a pure function of (process walk prefix, obligation).  The
+solver-effort columns (#SAT/#Confl) are steered by process-global,
+append-only state (term interning, the SFA compile cache), which the serial
+runner populates by walking benchmarks in registry order — so a worker must
+replay that walk prefix before discharging anything, or a benchmark
+discharged alone in a fresh process records slightly different effort
+counters than serial did.  Forked local workers inherit the coordinator's
+collect-phase walk through fork; a fresh ``repro worker`` process replays
+it via :func:`_warm_process_state` (a vacuous ``only_digests=frozenset()``
+walk — nothing discharged, nothing stored, ~tens of milliseconds on the
+fast corpus).  The coordinator's phase-2 warm run then reads every verdict
+back and produces byte-identical tables.
+
+``REPRO_WORKER_CRASH=lease`` is the fault-injection hook: the worker
+hard-kills itself (``os._exit``) immediately after its first successful
+lease — items claimed, nothing discharged, nothing completed — which is how
+the suite proves a dead worker loses no obligations.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..obs import trace
+from ..obs.logs import get_logger
+from ..evaluation.runner import run_benchmark
+from ..statsutil import MergeableStats
+from ..store.obligation_store import ObligationStore
+from ..suite.registry import all_benchmarks, benchmark_by_key
+from ..typecheck.checker import CheckerConfig
+
+logger = get_logger("worker")
+
+
+def _warm_process_state(config: CheckerConfig, check_negative_variants: bool) -> None:
+    """Replay the suite's emit walk so effort counters match serial runs.
+
+    Term interning and the SFA compile cache are process-global and
+    append-only; an obligation's recorded #SAT/#Confl depend on the walk
+    prefix that populated them.  Walking the registry's fast rows in order
+    (the slow rows sit at the registry tail, so this stays a true prefix of
+    any serial run) puts a fresh process in the same state a serial
+    evaluation is in when each benchmark discharges.  ``only_digests`` of
+    the empty set makes the walk vacuous: every obligation is skipped, no
+    store is attached, nothing persists but the interned state itself.
+    """
+    warm_config = replace(
+        config, only_digests=frozenset(), collect_sink=None, workers=1, shard=None
+    )
+    for benchmark in all_benchmarks(include_slow=False):
+        run_benchmark(
+            benchmark,
+            config=warm_config,
+            check_negative_variants=check_negative_variants,
+            store=None,
+        )
+
+#: fault-injection hook (see module docstring)
+ENV_WORKER_CRASH = "REPRO_WORKER_CRASH"
+
+
+@dataclass
+class WorkerStats(MergeableStats):
+    """What one worker session did (printed by ``repro worker``)."""
+
+    leases: int = 0
+    items: int = 0
+    benchmarks_run: int = 0
+    #: leased items naming a benchmark this build doesn't know — completed
+    #: anyway (the coordinator's phase 2 discharges them locally) so an
+    #: older worker can never wedge the drain
+    unknown_benchmarks: int = 0
+    completed: int = 0
+    #: batches dropped because an ``extend`` was refused (lease stolen)
+    abandoned: int = 0
+    idle_polls: int = 0
+
+
+def run_worker(
+    store_url: str,
+    *,
+    config: Optional[CheckerConfig] = None,
+    batch: int = 8,
+    ttl: float = 30.0,
+    poll: float = 0.5,
+    idle_exit: int = 3,
+    max_batches: Optional[int] = None,
+    worker_id: Optional[str] = None,
+    check_negative_variants: bool = True,
+    warm_process: bool = True,
+) -> WorkerStats:
+    """Lease, discharge and complete until the queue stays empty.
+
+    ``idle_exit`` consecutive empty leases (``poll`` seconds apart) end the
+    loop — a fleet drains and exits without a shutdown broadcast.  The
+    worker's ``config`` must describe the same semantic environment as the
+    coordinator's (discharge mode, backend, strategy...); a mismatch is not
+    an error — the verdicts land under the worker's own environment key and
+    the coordinator's phase 2 simply discharges its misses locally.
+
+    ``warm_process`` replays the registry walk before the first lease (see
+    :func:`_warm_process_state`); pass ``False`` only for workers forked
+    from a coordinator that has already walked the suite in this process.
+    """
+    config = config or CheckerConfig()
+    worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+    store = ObligationStore(store_url, backend=config.store_backend)
+    if not store.is_remote:
+        raise ValueError(f"repro worker needs a store *server* URL, got {store_url!r}")
+    backend = store.backend
+    backend.append_if_absent = True
+    crash_after_lease = os.environ.get(ENV_WORKER_CRASH, "") == "lease"
+    stats = WorkerStats()
+    idle = 0
+    logger.info("worker %s pulling from %s (batch=%d ttl=%.1fs)", worker_id, store_url, batch, ttl)
+    if warm_process:
+        with trace.span("worker.warmup", cat="run", worker=worker_id):
+            _warm_process_state(config, check_negative_variants)
+    with trace.span("worker.loop", cat="run", worker=worker_id, store=store_url):
+        while True:
+            if max_batches is not None and stats.leases >= max_batches:
+                break
+            with trace.span("queue.lease", cat="store", worker=worker_id) as lease_span:
+                grant = backend.lease(batch, ttl, worker=worker_id)
+                lease_id = grant.get("lease")
+                items = grant.get("items", [])
+                lease_span.set(
+                    lease=lease_id, items=len(items), reclaimed=grant.get("reclaimed", 0)
+                )
+            if not lease_id:
+                idle += 1
+                stats.idle_polls += 1
+                if idle >= idle_exit:
+                    break
+                time.sleep(poll)
+                continue
+            idle = 0
+            stats.leases += 1
+            stats.items += len(items)
+            if crash_after_lease:  # pragma: no cover - exits the process
+                logger.warning("fault injection: worker dying holding lease %s", lease_id)
+                os._exit(9)
+            # group the batch by benchmark: one emit walk materialises every
+            # leased obligation that benchmark emits
+            by_bench: dict[str, set[str]] = {}
+            for item in items:
+                by_bench.setdefault(item["bench"], set()).add(item["fp"])
+            abandoned = False
+            benches = sorted(by_bench)
+            for position, bench_key in enumerate(benches):
+                if position > 0 and not backend.extend(lease_id, ttl):
+                    # the lease expired and was stolen mid-batch: the rest of
+                    # the batch belongs to someone else now — walk away
+                    logger.warning("lease %s lost mid-batch; abandoning", lease_id)
+                    stats.abandoned += 1
+                    abandoned = True
+                    break
+                try:
+                    benchmark = benchmark_by_key(bench_key)
+                except KeyError:
+                    stats.unknown_benchmarks += 1
+                    logger.warning("leased unknown benchmark %r; completing anyway", bench_key)
+                    continue
+                worker_config = replace(
+                    config,
+                    only_digests=frozenset(by_bench[bench_key]),
+                    workers=1,
+                    shard=None,
+                    collect_sink=None,
+                )
+                run_benchmark(
+                    benchmark,
+                    config=worker_config,
+                    check_negative_variants=check_negative_variants,
+                    store=store,
+                )
+                stats.benchmarks_run += 1
+            if abandoned:
+                continue
+            # durability before acknowledgement: flush the verdicts, then
+            # complete — a crash between the two merely re-issues items whose
+            # verdicts are already in the store (a warm no-op for the thief)
+            store.flush()
+            done = backend.complete(lease_id, [f"{item['env']}:{item['fp']}" for item in items])
+            stats.completed += done.get("completed", 0)
+    store.flush()
+    store.commit_run()
+    backend.close()
+    logger.info(
+        "worker %s done: %d leases, %d items, %d completed",
+        worker_id, stats.leases, stats.items, stats.completed,
+    )
+    return stats

@@ -33,6 +33,9 @@ class EvaluationReport:
     #: per-benchmark run diagnostics (:meth:`Checker.run_diagnostics`):
     #: cache hit/eviction rates and the batch grouper's per-group records
     diagnostics: list[dict] = field(default_factory=list)
+    #: set by the distributed coordinator: dispatch id, enqueue counts,
+    #: drain timing and the server's queue counters (None for local runs)
+    dispatch: Optional[dict] = None
 
     @property
     def all_verified(self) -> bool:

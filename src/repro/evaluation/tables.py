@@ -255,6 +255,8 @@ def report_json(report: EvaluationReport, store=None) -> dict:
         payload["batch_groups"] = batch_summary
     if store is not None:
         payload["store"] = {"summary": store.summary(), "methods": store.explain()}
+    if report.dispatch is not None:
+        payload["dispatch"] = report.dispatch
     return payload
 
 

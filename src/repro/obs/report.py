@@ -192,4 +192,34 @@ def render_report(data: dict, *, top: int = 10) -> str:
         }
         for key in sorted(extras):
             lines.append(f"  {key}: {extras[key]}")
+    store = counters.get("store") if isinstance(counters, dict) else None
+    if isinstance(store, dict):
+        # the server-side `/stats` snapshot a remote-store run folds in
+        lines.append("")
+        lines.append("store server:")
+        lookup = store.get("lookup") or {}
+        requested = lookup.get("requested", 0)
+        found = lookup.get("found", 0)
+        lines.append(
+            f"  lookup hit rate: "
+            f"{(found / requested) if requested else 0.0:.1%} "
+            f"({found} found / {requested} requested)"
+        )
+        queue = store.get("queue") or {}
+        queue_counters = queue.get("counters") or {}
+        if any(queue_counters.values()):
+            lines.append(
+                f"  queue: {queue_counters.get('enqueued', 0)} enqueued, "
+                f"{queue_counters.get('leases_issued', 0)} leases, "
+                f"{queue_counters.get('completed', 0)} completed, "
+                f"{queue_counters.get('reclaimed', 0)} reclaimed (stolen)"
+            )
+        ops = store.get("ops") or {}
+        for op in sorted(ops):
+            record = ops[op]
+            lines.append(
+                f"  op {op}: {record.get('count', 0)} calls, "
+                f"{record.get('replays', 0)} replays, "
+                f"{record.get('seconds', 0.0):.3f}s"
+            )
     return "\n".join(lines)

@@ -87,6 +87,158 @@ def _phase_payload(report: EvaluationReport, wall_seconds: float, all_walls: lis
     return payload
 
 
+def run_dispatch_ab(
+    *,
+    workers: int = 3,
+    cheap: int = 24,
+    cheap_ms: int = 25,
+    straggler_ms: int = 300,
+) -> dict:
+    """The straggler-skew microbench: static hash shards vs work stealing.
+
+    A synthetic obligation set — one straggler plus many cheap items, each
+    "discharged" by sleeping its cost — is executed two ways with the same
+    worker count:
+
+    * **static**: items are partitioned by ``shard_of`` (the ``--shards``
+      placement); each worker sleeps through its fixed slice.  The fp salt
+      is searched deterministically so the straggler's shard also carries
+      its fair share of cheap items — the placement ``--shards`` cannot
+      avoid, since fingerprints hash where they hash;
+    * **stealing**: the items go through a real in-process store server's
+      lease queue and the workers *pull* one at a time, cost-ordered (LPT
+      at dequeue) — the straggler starts immediately and the cheap items
+      level across the remaining workers.
+
+    Makespans: static ≈ straggler + its shard's cheap share; stealing ≈
+    max(straggler, total/workers) + RPC overhead.  The payload's
+    ``speedup`` (static/stealing) is the committed, CI-gated evidence that
+    pull-based dispatch beats static placement under skew.
+    """
+    import hashlib
+    import threading
+
+    from ..store.fingerprint import shard_of
+    from ..store.remote import RemoteStoreBackend
+    from ..store.server import StoreHTTPServer, StoreService
+
+    if workers < 2:
+        raise ValueError("the dispatch A/B needs at least 2 workers")
+    costs = {"straggler": straggler_ms / 1000.0}
+    for index in range(cheap):
+        costs[f"cheap-{index:02d}"] = cheap_ms / 1000.0
+
+    def fingerprints(salt: int) -> dict[str, str]:
+        return {
+            name: hashlib.sha256(f"dispatch-ab:{salt}:{name}".encode()).hexdigest()
+            for name in costs
+        }
+
+    # deterministic salt search: make the static partition representative —
+    # the straggler's shard must carry at least an even share of the cheap
+    # items (hashing gives it that in expectation; we pin it for stability)
+    fair_share = cheap // workers
+    salt_chosen, cheap_share = 0, 0
+    for salt in range(1000):
+        fps = fingerprints(salt)
+        home = shard_of(fps["straggler"], workers)
+        share = sum(
+            1
+            for name in costs
+            if name != "straggler" and shard_of(fps[name], workers) == home
+        )
+        if share >= fair_share:
+            salt_chosen, cheap_share = salt, share
+            break
+    fp_of = fingerprints(salt_chosen)
+
+    # -- static: each worker sleeps through its hash-assigned slice ---------
+    slices: dict[int, list[float]] = {index: [] for index in range(workers)}
+    for name, cost in costs.items():
+        slices[shard_of(fp_of[name], workers)].append(cost)
+
+    def sleep_through(slice_costs: list) -> None:
+        for cost in slice_costs:
+            time.sleep(cost)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=sleep_through, args=(slice_costs,))
+        for slice_costs in slices.values()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    static_seconds = time.perf_counter() - started
+
+    # -- stealing: the same items pulled through a real lease queue ---------
+    cost_by_key = {f"bench:{fp_of[name]}": cost for name, cost in costs.items()}
+    with tempfile.TemporaryDirectory(prefix="pymarple-dispatch-ab-") as tmp:
+        service = StoreService(str(Path(tmp) / "store"))
+        server = StoreHTTPServer(("127.0.0.1", 0), service)
+        loop = threading.Thread(target=server.serve_forever, daemon=True)
+        loop.start()
+        try:
+            coordinator = RemoteStoreBackend(server.url)
+            coordinator.handshake()
+            coordinator.enqueue(
+                [
+                    {
+                        "env": "bench",
+                        "fp": fp_of[name],
+                        "bench": name,
+                        "cost": cost,
+                        "measured": True,
+                    }
+                    for name, cost in costs.items()
+                ],
+                "dispatch-ab",
+            )
+
+            def pull() -> None:
+                backend = RemoteStoreBackend(server.url)
+                while True:
+                    grant = backend.lease(1, 30.0, worker="dispatch-ab")
+                    if not grant.get("lease"):
+                        break
+                    keys = []
+                    for item in grant["items"]:
+                        key = f"{item['env']}:{item['fp']}"
+                        time.sleep(cost_by_key[key])
+                        keys.append(key)
+                    backend.complete(grant["lease"], keys)
+                backend.close()
+
+            started = time.perf_counter()
+            threads = [threading.Thread(target=pull) for _ in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stealing_seconds = time.perf_counter() - started
+            coordinator.close()
+        finally:
+            server.shutdown()
+            loop.join()
+            server.server_close()
+            service.close()
+
+    return {
+        "workers": workers,
+        "items": len(costs),
+        "cheap": cheap,
+        "cheap_ms": cheap_ms,
+        "straggler_ms": straggler_ms,
+        "salt": salt_chosen,
+        "straggler_shard_cheap_items": cheap_share,
+        "static_seconds": round(static_seconds, 4),
+        "stealing_seconds": round(stealing_seconds, 4),
+        "speedup": round(static_seconds / stealing_seconds, 3),
+        "stealing_beats_static": stealing_seconds < static_seconds,
+    }
+
+
 def run_bench(
     *,
     include_slow: bool = False,
@@ -94,6 +246,7 @@ def run_bench(
     config: Optional[CheckerConfig] = None,
     store_path: Optional[str] = None,
     ab: bool = False,
+    dispatch_ab: bool = False,
 ) -> dict:
     """Run the corpus cold and warm; return the BENCH payload.
 
@@ -188,6 +341,8 @@ def run_bench(
                 == payload["cold"]["tables_deterministic"]
             ),
         }
+    if dispatch_ab:
+        payload["dispatch_ab"] = run_dispatch_ab()
     return payload
 
 
@@ -258,6 +413,32 @@ def compare_payloads(
         messages.append(f"counters moved (advisory): {rendered}")
     else:
         messages.append("counters: identical to baseline")
+    cur_dispatch = current.get("dispatch_ab")
+    if isinstance(cur_dispatch, dict):
+        # the work-stealing claim is a hard gate: on the same machine, in the
+        # same payload, pulling must beat static placement under skew
+        speedup = float(cur_dispatch.get("speedup", 0.0))
+        verdict = "ok" if speedup > 1.0 else "REGRESSION"
+        messages.append(
+            f"dispatch A/B: stealing {cur_dispatch.get('stealing_seconds')}s vs "
+            f"static {cur_dispatch.get('static_seconds')}s "
+            f"(speedup {speedup:.2f}x) — {verdict}"
+        )
+        if speedup <= 1.0:
+            ok = False
+        base_dispatch = baseline.get("dispatch_ab")
+        if isinstance(base_dispatch, dict) and base_dispatch.get("stealing_seconds"):
+            base_steal = float(base_dispatch["stealing_seconds"])
+            cur_steal = float(cur_dispatch.get("stealing_seconds", 0.0))
+            steal_delta = (cur_steal - base_steal) / base_steal if base_steal > 0 else 0.0
+            steal_verdict = "ok" if cur_steal <= base_steal * (1.0 + tolerance) else "REGRESSION"
+            messages.append(
+                f"dispatch stealing makespan: {cur_steal:.3f}s vs baseline "
+                f"{base_steal:.3f}s ({steal_delta:+.1%}, tolerance {tolerance:.0%}) "
+                f"— {steal_verdict}"
+            )
+            if cur_steal > base_steal * (1.0 + tolerance):
+                ok = False
     return ok, messages
 
 
@@ -297,5 +478,13 @@ def summarize(payload: dict) -> str:
         lines.append(
             f"  A/B {ab['discharge']}: cold {ab['cold']['wall_seconds']:.3f}s  "
             f"deterministic tables identical={ab['tables_identical']}"
+        )
+    dispatch = payload.get("dispatch_ab")
+    if dispatch:
+        lines.append(
+            f"  dispatch A/B ({dispatch['workers']} workers, "
+            f"{dispatch['items']} items): static {dispatch['static_seconds']:.3f}s "
+            f"vs stealing {dispatch['stealing_seconds']:.3f}s  "
+            f"(speedup {dispatch['speedup']:.2f}x)"
         )
     return "\n".join(lines)

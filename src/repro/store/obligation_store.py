@@ -285,6 +285,16 @@ class ObligationStore:
             self._note_cost(entry)
         self._remote_checked.update((env, fp) for fp in missing)
 
+    def forget_remote_misses(self) -> None:
+        """Drop the session's known-miss cache (remote sessions only).
+
+        A prefetch that came back empty is remembered so later lookups cost
+        no round-trip — but a dispatch coordinator *expects* other processes
+        to fill those keys between its collect and report phases, so it
+        forgets the misses before the warm pass re-fetches them.
+        """
+        self._remote_checked.clear()
+
     def record(self, entry: StoreEntry) -> None:
         self._entries[entry.key] = entry
         self._pending.append(entry)

@@ -13,19 +13,25 @@ detects ``supports_update = False`` and dispatches to these operations.
 
 Reliability model:
 
-* every call is one short-lived HTTP request with a socket timeout
-  (``REPRO_STORE_RPC_TIMEOUT``, seconds);
+* every call reuses **one persistent keep-alive connection per process**
+  (dropped and re-established transparently: a stale socket — the server
+  restarted, an idle timeout fired — costs one immediate reconnect, never a
+  failed call; a fork is detected by pid and the inherited socket is
+  abandoned, so parent and child never interleave bytes on one connection),
+  with a socket timeout per request (``REPRO_STORE_RPC_TIMEOUT``, seconds);
 * connection errors and 5xx responses are retried with bounded exponential
   backoff (``REPRO_STORE_RPC_RETRIES`` attempts starting at
   ``REPRO_STORE_RPC_BACKOFF`` seconds, doubling, capped at 2 s);
-* writes (``append``, ``commit_run``, ``gc``, ``invalidate``, ``compact``)
-  carry an idempotency key, generated once per logical call and resent
-  verbatim on retry, so a write whose response was lost to a crash or a
-  dropped connection is applied exactly once by the server;
+* writes (``append``, ``commit_run``, ``gc``, ``invalidate``, ``compact``,
+  the queue ops) carry an idempotency key, generated once per logical call
+  and resent verbatim on retry, so a write whose response was lost to a
+  crash or a dropped connection is applied exactly once by the server; the
+  payload also carries this client's identity, so the server's replay cache
+  evicts per client and a slow client's retry window survives chatty peers;
 * 4xx responses are never retried — they surface immediately as
   :class:`RemoteStoreError`;
 * every call runs inside a ``store.rpc`` trace span whose ``op``/``status``/
-  ``attempts`` args feed ``repro trace report``.
+  ``attempts``/``reused_conn`` args feed ``repro trace report``.
 
 At open time the client performs a handshake and verifies the server's
 schema tag matches its own :data:`~repro.store.backends.SCHEMA_VERSION` —
@@ -112,6 +118,21 @@ class RemoteStoreBackend:
         #: the server's entry count as of the last response that carried one
         self.entries_total = 0
         self._identity: Optional[dict] = None
+        #: the one persistent keep-alive connection this process holds, and
+        #: the pid that owns it (a forked child must not reuse the parent's
+        #: socket — it would interleave two processes' bytes on one stream)
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn_pid: Optional[int] = None
+        #: identity sent with idempotent writes (the server's replay cache
+        #: evicts per client); regenerated after fork with the connection
+        self._client_id = uuid.uuid4().hex
+        self._client_pid = os.getpid()
+        #: queue-worker mode: stamp ``if_absent`` on appends so a worker
+        #: whose lease was stolen can never land a duplicate verdict record
+        self.append_if_absent = False
+        #: session transport counters (reuse rate backs the keep-alive tests)
+        self.rpc_calls = 0
+        self.rpc_reused = 0
         # shard workers forked under a remote store still spool their slices
         # to local files; the directory is derived from the URL so the parent
         # and its forked children agree on it without extra plumbing
@@ -121,32 +142,83 @@ class RemoteStoreBackend:
         )
 
     # -- transport ----------------------------------------------------------------
-    def _post(self, op: str, body: bytes) -> tuple[int, dict]:
+    def _ensure_identity(self) -> None:
+        """Detect a fork: abandon the inherited socket, take a new client id.
+
+        The inherited socket fd is a dup of the parent's — closing our copy
+        cannot disturb the parent, but *using* it would interleave two
+        processes' bytes on one stream.  The fresh client id keeps the
+        server's per-client replay cache from conflating the two processes.
+        """
+        pid = os.getpid()
+        if pid != self._client_pid:
+            # closing our dup'd fd releases it without sending a FIN while
+            # the parent still holds the connection
+            self._drop_connection()
+            self._client_id = uuid.uuid4().hex
+            self._client_pid = pid
+
+    def _acquire_connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """The process's persistent connection; ``(conn, reused)``."""
+        self._ensure_identity()
+        if self._conn is not None:
+            return self._conn, True
         conn_cls = (
             http.client.HTTPSConnection
             if self._scheme == "https"
             else http.client.HTTPConnection
         )
-        conn = conn_cls(self._netloc, timeout=self.timeout)
-        try:
-            conn.request(
-                "POST",
-                f"{self._base}/{op}",
-                body=body,
-                headers={"Content-Type": "application/json"},
-            )
-            response = conn.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
-            conn.close()
+        self._conn = conn_cls(self._netloc, timeout=self.timeout)
+        self._conn_pid = os.getpid()
+        return self._conn, False
+
+    def _drop_connection(self) -> None:
+        conn, self._conn, self._conn_pid = self._conn, None, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _post(self, op: str, body: bytes) -> tuple[int, dict, bool]:
+        """One request over the keep-alive connection; reconnects once.
+
+        A reused connection can be stale (server restart, idle close) — the
+        failure shows up as a connection error on the *first* byte, so one
+        immediate retry on a fresh connection is transparent and safe: writes
+        carry idempotency keys, so even a request that was applied before the
+        response was lost cannot double-apply when resent.
+        """
+        for attempt in (0, 1):
+            conn, reused = self._acquire_connection()
+            try:
+                conn.request(
+                    "POST",
+                    f"{self._base}/{op}",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+                if response.will_close:
+                    self._drop_connection()
+                break
+            except (OSError, http.client.HTTPException):
+                self._drop_connection()
+                if reused and attempt == 0:
+                    continue
+                raise
+        self.rpc_calls += 1
+        if reused:
+            self.rpc_reused += 1
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except ValueError:
             payload = {}
         if not isinstance(payload, dict):
             payload = {}
-        return status, payload
+        return status, payload, reused
 
     def _call(
         self, op: str, payload: dict, *, idempotent: bool = False
@@ -157,8 +229,9 @@ class RemoteStoreBackend:
         the same key is resent on every retry, so the server applies the
         write once even when a response (not the write) was what got lost.
         """
+        self._ensure_identity()  # the client id stamped below must be ours
         if idempotent:
-            payload = {**payload, "key": uuid.uuid4().hex}
+            payload = {**payload, "key": uuid.uuid4().hex, "client": self._client_id}
         body = json.dumps(payload).encode("utf-8")
         delay = self.backoff
         last_error: Optional[BaseException] = None
@@ -168,7 +241,7 @@ class RemoteStoreBackend:
                     time.sleep(delay)
                     delay = min(delay * 2, _BACKOFF_CAP)
                 try:
-                    status, data = self._post(op, body)
+                    status, data, reused = self._post(op, body)
                 except (OSError, http.client.HTTPException) as exc:
                     last_error = exc
                     logger.debug(
@@ -176,7 +249,7 @@ class RemoteStoreBackend:
                         op, attempt, self.retries, exc,
                     )
                     continue
-                rpc_span.set(status=status, attempts=attempt)
+                rpc_span.set(status=status, attempts=attempt, reused_conn=reused)
                 if status >= 500:
                     last_error = RemoteStoreError(
                         f"{op} failed with server error {status}: "
@@ -247,7 +320,10 @@ class RemoteStoreBackend:
             return
         self._call(
             "append",
-            {"entries": [entry.to_record() for entry in entries]},
+            {
+                "entries": [entry.to_record() for entry in entries],
+                "if_absent": self.append_if_absent,
+            },
             idempotent=True,
         )
 
@@ -277,6 +353,51 @@ class RemoteStoreBackend:
         data = self._call("gc", {"keep_last": keep_last}, idempotent=True)
         return int(data.get("dropped", 0))
 
+    # -- work-queue operations ----------------------------------------------------
+    def enqueue(self, items: Sequence[dict], dispatch: Optional[str] = None) -> dict:
+        """Offer obligation records to the server's work queue."""
+        return self._call(
+            "enqueue",
+            {"items": list(items), "dispatch": dispatch},
+            idempotent=True,
+        )
+
+    def lease(self, count: int, ttl: float, *, worker: str = "") -> dict:
+        """Claim up to ``count`` pending items under a ``ttl``-second lease.
+
+        Returns the server's response: ``lease`` (id or None), ``items``
+        (cost-ordered records), ``reclaimed`` and ``queued``.  Leasing is
+        idempotent on retry: the replay cache returns the original grant, so
+        a lost response cannot strand items under a phantom lease.
+        """
+        return self._call(
+            "lease",
+            {"count": count, "ttl": ttl, "worker": worker},
+            idempotent=True,
+        )
+
+    def complete(self, lease_id: str, keys: Sequence[str]) -> dict:
+        """Acknowledge discharged items; call only after verdicts are durable."""
+        return self._call(
+            "complete",
+            {"lease": lease_id, "keys": list(keys)},
+            idempotent=True,
+        )
+
+    def extend(self, lease_id: str, ttl: float) -> bool:
+        """Renew a lease (server-relative deadline); False = lease lost."""
+        data = self._call(
+            "extend", {"lease": lease_id, "ttl": ttl}, idempotent=True
+        )
+        return bool(data.get("ok"))
+
+    def queue_status(self, dispatch: Optional[str] = None) -> dict:
+        return self._call("queue_status", {"dispatch": dispatch})
+
+    def stats(self) -> dict:
+        """The server's per-op counters, lookup hit-rate and queue state."""
+        return self._call("stats", {})
+
     # -- local-protocol stubs -----------------------------------------------------
     def load(self, *, wipe_mismatch: bool = True):
         raise RemoteStoreError(
@@ -291,4 +412,5 @@ class RemoteStoreBackend:
         )
 
     def close(self) -> None:
-        pass  # one connection per request: nothing is held open
+        """Drop the keep-alive connection (call before ``os.fork``)."""
+        self._drop_connection()

@@ -20,12 +20,22 @@ Design notes:
 * Writes carry client idempotency keys; the service remembers recent keys
   (with their responses) and replays the response instead of re-applying the
   write, so a client retrying a request whose *response* was lost cannot
-  double-apply.  The key cache is in-memory: after a server restart a
-  replayed append merely re-UPSERTs identical content (entries are keyed),
-  and a replayed ``commit_run`` appends a fresh run record — both harmless.
+  double-apply.  Keys are remembered **per client** (the client id travels
+  in the payload): one client flooding writes can only evict its *own* old
+  keys, never another — slower — client's in-flight retry window.  The key
+  cache is in-memory: after a server restart a replayed append merely
+  re-UPSERTs identical content (entries are keyed), and a replayed
+  ``commit_run`` appends a fresh run record — both harmless.
+* The service also owns the :class:`~repro.store.queue.WorkQueue` behind
+  distributed discharge (``enqueue``/``lease``/``complete``/``extend``/
+  ``queue_status``).  The queue is in-memory only — durability lives in the
+  store itself: a coordinator re-dispatch recomputes the remaining work from
+  the store, so completed obligations are never redone after a crash.
 * All operations serialise on one lock.  HTTP handling itself is threaded
   (:class:`ThreadingHTTPServer`), so slow clients never block the accept
-  loop, only the store critical section is serial.
+  loop, only the store critical section is serial.  Responses advertise
+  HTTP/1.1 keep-alive, so a pulling worker's thousands of small queue RPCs
+  reuse one TCP connection instead of paying a connect each.
 
 ``REPRO_STORE_SERVE_CRASH`` is a fault-injection hook for the crash-recovery
 suite: set to ``"<op>:before"`` or ``"<op>:after"`` it hard-kills the server
@@ -38,6 +48,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
@@ -45,13 +56,18 @@ from typing import Optional
 from ..obs.logs import get_logger
 from .backends import SCHEMA_VERSION, LoadedState, StoreEntry, open_backend
 from .obligation_store import append_run_record, stale_entry_keys, sweep_unreferenced
+from .queue import QueueItem, WorkQueue
 
 logger = get_logger("store")
 
 SERVER_NAME = "pymarple-store-serve/1"
 
 #: how many recent idempotency keys (and their responses) the service holds
-_MAX_IDEMPOTENCY_KEYS = 4096
+#: *per client* — eviction is per-client, so one chatty client can never
+#: evict another client's retry window into a double-apply
+_MAX_IDEMPOTENCY_KEYS_PER_CLIENT = 1024
+#: how many distinct clients' key caches the service holds (LRU beyond that)
+_MAX_IDEMPOTENCY_CLIENTS = 64
 
 #: fault-injection hook for the crash-recovery tests (see module docstring)
 ENV_SERVE_CRASH = "REPRO_STORE_SERVE_CRASH"
@@ -76,8 +92,21 @@ class StoreService:
         self._entries = state.entries
         self._runs = state.runs
         self.skipped = state.skipped
-        self._seen: OrderedDict[str, dict] = OrderedDict()
+        #: client id -> (idempotency key -> replayed response), both LRU
+        self._seen: OrderedDict[str, OrderedDict[str, dict]] = OrderedDict()
         self._crash = os.environ.get(ENV_SERVE_CRASH, "")
+        #: the work queue behind distributed discharge (in-memory only;
+        #: durability is the store's job — see the module docstring)
+        self.queue = WorkQueue()
+        #: the queue's clock — monotonic so wall-clock steps can't expire or
+        #: immortalise leases; overridable by the fault-injection tests
+        self.queue_clock = time.monotonic
+        #: per-op request counts and latency sums plus the lookup hit rate,
+        #: served by the ``stats`` op (``repro store stats URL``)
+        self._op_stats: dict[str, dict] = {}
+        self._lookup_requested = 0
+        self._lookup_found = 0
+        self._started = time.time()
 
     # -- plumbing -----------------------------------------------------------------
     def _maybe_crash(self, op: str, when: str) -> None:
@@ -89,23 +118,48 @@ class StoreService:
         self._entries = state.entries
         self._runs = state.runs
 
+    def _client_keys(self, client: str) -> OrderedDict[str, dict]:
+        bucket = self._seen.get(client)
+        if bucket is None:
+            bucket = self._seen[client] = OrderedDict()
+            while len(self._seen) > _MAX_IDEMPOTENCY_CLIENTS:
+                self._seen.popitem(last=False)
+        else:
+            self._seen.move_to_end(client)
+        return bucket
+
+    def _note_op(self, op: str, seconds: float, *, replayed: bool = False) -> None:
+        record = self._op_stats.setdefault(
+            op, {"count": 0, "seconds": 0.0, "replays": 0}
+        )
+        if replayed:
+            record["replays"] += 1
+        else:
+            record["count"] += 1
+            record["seconds"] += seconds
+
     def execute(self, op: str, payload: dict) -> dict:
         handler = getattr(self, f"op_{op}", None)
         if handler is None:
             raise UnknownOperation(f"unknown store operation {op!r}")
         with self._lock:
             key = payload.get("key")
-            if isinstance(key, str) and key in self._seen:
-                self._seen.move_to_end(key)
+            client = payload.get("client")
+            seen = self._client_keys(client if isinstance(client, str) else "")
+            if isinstance(key, str) and key in seen:
+                seen.move_to_end(key)
+                self._note_op(op, 0.0, replayed=True)
                 logger.debug("replaying idempotent %s (key %s)", op, key)
-                return self._seen[key]
+                return seen[key]
             self._maybe_crash(op, "before")
+            started = time.perf_counter()
             result = handler(payload)
+            self._note_op(op, time.perf_counter() - started)
             self._maybe_crash(op, "after")
             if isinstance(key, str) and key:
-                self._seen[key] = result
-                while len(self._seen) > _MAX_IDEMPOTENCY_KEYS:
-                    self._seen.popitem(last=False)
+                seen[key] = result
+                while len(seen) > _MAX_IDEMPOTENCY_KEYS_PER_CLIENT:
+                    seen.popitem(last=False)
             return result
 
     def close(self) -> None:
@@ -133,6 +187,8 @@ class StoreService:
             entry = self._entries.get((env, fp))
             if entry is not None:
                 found.append(entry.to_record())
+        self._lookup_requested += len(fps)
+        self._lookup_found += len(found)
         return {"found": found, "entries": len(self._entries)}
 
     def op_cost_hints(self, _payload: dict) -> dict:
@@ -148,11 +204,24 @@ class StoreService:
         if not isinstance(records, list):
             raise ValueError("append needs an 'entries' list")
         batch = [StoreEntry.from_record(record) for record in records]
-        self.backend.append_entries(batch)
+        skipped_existing = 0
+        if payload.get("if_absent"):
+            # queue workers write with if_absent: a worker whose lease was
+            # stolen (and re-discharged elsewhere) must not land a second
+            # copy of the verdict in the append log
+            fresh = [entry for entry in batch if entry.key not in self._entries]
+            skipped_existing = len(batch) - len(fresh)
+            batch = fresh
+        if batch:
+            self.backend.append_entries(batch)
         for entry in batch:
             self._entries[entry.key] = entry
         logger.debug("appended %d entries for a remote client", len(batch))
-        return {"appended": len(batch), "entries": len(self._entries)}
+        return {
+            "appended": len(batch),
+            "skipped_existing": skipped_existing,
+            "entries": len(self._entries),
+        }
 
     def op_compact(self, _payload: dict) -> dict:
         state = self.backend.update(lambda entries, runs: (entries, runs), runs=False)
@@ -212,9 +281,124 @@ class StoreService:
         self._adopt(self.backend.update(sweep))
         return {"dropped": dropped, "entries": len(self._entries)}
 
+    # -- the work queue (distributed discharge) -----------------------------------
+    def _queue_item(self, record: dict) -> QueueItem:
+        env, fp, bench = record.get("env"), record.get("fp"), record.get("bench")
+        if not (isinstance(env, str) and isinstance(fp, str) and isinstance(bench, str)):
+            raise ValueError("queue items need 'env', 'fp' and 'bench' strings")
+        cost = record.get("cost")
+        measured = bool(record.get("measured"))
+        # the store's own cost index outranks whatever the coordinator sent:
+        # a recorded wall time (under any environment) is the LPT signal
+        hint = self._entries.get((env, fp))
+        wall = hint.wall_cost if hint is not None else None
+        if wall is None:
+            wall = self._wall_cost_of(fp)
+        if wall is not None:
+            cost, measured = wall, True
+        return QueueItem(
+            env=env,
+            fp=fp,
+            bench=bench,
+            cost=float(cost) if isinstance(cost, (int, float)) else 0.0,
+            measured=measured,
+        )
+
+    def _wall_cost_of(self, fp: str) -> Optional[float]:
+        # env-free, exactly like ObligationStore.cost_hint: a measurement
+        # from another environment is still a fine scheduling hint
+        for entry in self._entries.values():
+            if entry.fp == fp and entry.wall_cost is not None:
+                return entry.wall_cost
+        return None
+
+    def op_enqueue(self, payload: dict) -> dict:
+        records = payload["items"]
+        if not isinstance(records, list):
+            raise ValueError("enqueue needs an 'items' list")
+        dispatch = payload.get("dispatch")
+        if dispatch is not None and not isinstance(dispatch, str):
+            raise ValueError("'dispatch' must be a string tag")
+        items = [self._queue_item(record) for record in records]
+        added, requeued = self.queue.enqueue(items, dispatch=dispatch)
+        logger.debug("enqueued %d items (%d requeued) for dispatch %s", added, requeued, dispatch)
+        return {"enqueued": added, "requeued": requeued, "queued": len(self.queue)}
+
+    def op_lease(self, payload: dict) -> dict:
+        count = payload.get("count", 1)
+        ttl = payload.get("ttl", 30.0)
+        if not isinstance(count, int) or not isinstance(ttl, (int, float)):
+            raise ValueError("lease needs an integer 'count' and a numeric 'ttl'")
+        worker = payload.get("worker")
+        lease, items, reclaimed = self.queue.lease(
+            count, float(ttl), self.queue_clock(),
+            worker=worker if isinstance(worker, str) else "",
+        )
+        return {
+            "lease": lease.id if lease is not None else None,
+            "items": [item.to_record() for item in items],
+            "reclaimed": reclaimed,
+            "queued": len(self.queue),
+        }
+
+    def op_complete(self, payload: dict) -> dict:
+        lease_id = payload.get("lease")
+        keys = payload.get("keys")
+        if not isinstance(lease_id, str) or not isinstance(keys, list):
+            raise ValueError("complete needs a 'lease' id and a 'keys' list")
+        completed, stale = self.queue.complete(lease_id, [str(key) for key in keys])
+        return {"completed": completed, "stale": stale, "queued": len(self.queue)}
+
+    def op_extend(self, payload: dict) -> dict:
+        lease_id = payload.get("lease")
+        ttl = payload.get("ttl")
+        if not isinstance(lease_id, str) or not isinstance(ttl, (int, float)):
+            raise ValueError("extend needs a 'lease' id and a numeric 'ttl'")
+        # the deadline is computed against the *server's* clock — a client
+        # with a skewed clock sends only the relative ttl, so skew is inert
+        ok = self.queue.extend(lease_id, float(ttl), self.queue_clock())
+        return {"ok": ok}
+
+    def op_queue_status(self, payload: dict) -> dict:
+        dispatch = payload.get("dispatch")
+        if dispatch is not None and not isinstance(dispatch, str):
+            raise ValueError("'dispatch' must be a string tag")
+        return self.queue.status(dispatch, now=self.queue_clock())
+
+    # -- metrics ------------------------------------------------------------------
+    def op_stats(self, _payload: dict) -> dict:
+        ops = {
+            op: {
+                "count": record["count"],
+                "seconds": round(record["seconds"], 6),
+                "replays": record["replays"],
+            }
+            for op, record in sorted(self._op_stats.items())
+        }
+        return {
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "entries": len(self._entries),
+            "runs": len(self._runs),
+            "ops": ops,
+            "lookup": {
+                "requested": self._lookup_requested,
+                "found": self._lookup_found,
+            },
+            "queue": self.queue.status(),
+            "idempotency_clients": len(self._seen),
+        }
+
 
 class _StoreRequestHandler(BaseHTTPRequestHandler):
     server_version = SERVER_NAME
+    #: HTTP/1.1 so keep-alive works: clients reuse one connection per
+    #: process instead of paying a TCP connect per RPC (every reply already
+    #: carries an exact Content-Length)
+    protocol_version = "HTTP/1.1"
+    #: TCP_NODELAY: a reply goes out as two small writes (header block, then
+    #: body); on a kept-alive connection Nagle would hold the second write
+    #: until the client's delayed ACK (~40ms per RPC — dwarfing the op itself)
+    disable_nagle_algorithm = True
 
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")

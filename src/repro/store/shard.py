@@ -96,8 +96,10 @@ def run_sharded_evaluation(
 
     keys = [benchmark.key for benchmark in benchmarks] if benchmarks is not None else None
     store.flush()  # children read the main log; make pending entries visible
-    # an open sqlite connection must not be carried across fork() — close it
-    # here (children and the parent alike reconnect lazily on next use)
+    # neither an open sqlite connection nor a remote backend's keep-alive
+    # socket may be carried across fork() — close here (children and the
+    # parent alike reconnect lazily on next use; a remote child also takes a
+    # fresh client identity, so per-client idempotency buckets never collide)
     store.backend.close()
 
     context = multiprocessing.get_context("fork")

@@ -144,6 +144,15 @@ class CheckerConfig:
     #: are identical across backends (the store suite runs parametrised over
     #: both).  Overridable via the REPRO_STORE_BACKEND environment variable.
     store_backend: str = field(default_factory=_default_store_backend)
+    #: dispatch-worker mode: discharge only obligations whose digest is in
+    #: this set, vacuously skipping the rest (a queue lease's slice — the
+    #: pull-based counterpart of ``shard``)
+    only_digests: Optional[frozenset] = None
+    #: dispatch-coordinator mode: report every store miss to this callable —
+    #: ``sink(env_fp, digest, cost_hint, estimate)`` — instead of discharging
+    #: it locally.  Never set on a config that crosses a fork (the sharded
+    #: runner pickles configs; closures don't travel).
+    collect_sink: Optional[object] = None
 
 
 class Checker:
@@ -220,6 +229,8 @@ class Checker:
             schedule=self.config.schedule,
             alphabet_memo=self.alphabet_memo,
             derivative_cache=self.derivative_cache,
+            only=self.config.only_digests,
+            collect=self.config.collect_sink,
             # Deliberately NOT self._library_digest: the dependency record
             # includes the constant table, the environment fingerprint never
             # has (every other store path computes the constants-free digest,

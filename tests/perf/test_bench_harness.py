@@ -92,6 +92,55 @@ def test_run_bench_validates_runs():
         run_bench(runs=0)
 
 
+def test_dispatch_ab_work_stealing_beats_static_shards():
+    from repro.perf.bench import run_dispatch_ab
+
+    result = run_dispatch_ab()
+    assert result["stealing_beats_static"], (
+        "LPT-at-dequeue must beat the static hash partition under skew"
+    )
+    assert result["speedup"] > 1.0
+    # the salt search pinned a representative partition: the straggler's
+    # shard carries at least its fair share of cheap items
+    assert result["straggler_shard_cheap_items"] >= result["cheap"] // result["workers"]
+    assert result["stealing_seconds"] > 0 and result["static_seconds"] > 0
+
+
+def test_dispatch_ab_validates_workers():
+    from repro.perf.bench import run_dispatch_ab
+
+    with pytest.raises(ValueError, match="2 workers"):
+        run_dispatch_ab(workers=1)
+
+
+def test_compare_gates_the_dispatch_speedup(payload):
+    dispatch = {
+        "static_seconds": 0.5,
+        "stealing_seconds": 0.3,
+        "speedup": 1.667,
+        "stealing_beats_static": True,
+    }
+    current = copy.deepcopy(payload)
+    current["dispatch_ab"] = dict(dispatch)
+    baseline = copy.deepcopy(payload)
+    baseline["dispatch_ab"] = dict(dispatch)
+    ok, messages = compare_payloads(current, baseline, tolerance=0.2)
+    assert ok
+    assert any("dispatch A/B" in m and "ok" in m for m in messages)
+
+    # stealing slower than static: the work-stealing claim itself fails
+    current["dispatch_ab"].update(stealing_seconds=0.6, speedup=0.833)
+    ok, messages = compare_payloads(current, baseline, tolerance=0.2)
+    assert not ok
+    assert any("dispatch A/B" in m and "REGRESSION" in m for m in messages)
+
+    # stealing makespan regressed past the tolerance vs the baseline
+    current["dispatch_ab"].update(stealing_seconds=0.45, speedup=1.111)
+    ok, messages = compare_payloads(current, baseline, tolerance=0.2)
+    assert not ok
+    assert any("stealing makespan" in m for m in messages)
+
+
 def test_committed_bench_payload_is_well_formed():
     """The checked-in BENCH_PR5.json must parse and carry the PR4 baseline."""
     from pathlib import Path
@@ -100,3 +149,15 @@ def test_committed_bench_payload_is_well_formed():
     assert committed["baseline"]["label"] == "PR4"
     assert committed["baseline"]["cold_wall_seconds"] > 0
     assert committed["cold"]["wall_seconds"] > 0
+
+
+def test_committed_pr10_payload_carries_the_dispatch_evidence():
+    """BENCH_PR10.json is the CI-gated record that stealing beats shards."""
+    from pathlib import Path
+
+    committed = load_payload(Path(__file__).resolve().parents[2] / "BENCH_PR10.json")
+    assert committed["baseline"]["label"] == "PR7"
+    dispatch = committed["dispatch_ab"]
+    assert dispatch["stealing_beats_static"] and dispatch["speedup"] > 1.0
+    assert dispatch["stealing_seconds"] > 0 and dispatch["static_seconds"] > 0
+    assert committed["ab"]["tables_identical"]

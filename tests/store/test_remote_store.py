@@ -50,7 +50,10 @@ def _scripted(backend, responses):
         answer = responses.pop(0)
         if isinstance(answer, BaseException):
             raise answer
-        return answer
+        status, payload = answer
+        # the real transport also reports whether the keep-alive connection
+        # was reused; a scripted transport never reuses one
+        return status, payload, False
 
     backend._post = fake_post
     return calls

@@ -174,12 +174,28 @@ def test_a_replayed_write_is_applied_once(server, client):
     assert fresh["run"] == first["run"] + 1, "exactly one run slipped in between"
 
 
-def test_idempotency_keys_are_bounded(server, monkeypatch):
-    monkeypatch.setattr("repro.store.server._MAX_IDEMPOTENCY_KEYS", 4)
+def test_idempotency_keys_are_bounded_per_client(server, monkeypatch):
+    monkeypatch.setattr("repro.store.server._MAX_IDEMPOTENCY_KEYS_PER_CLIENT", 4)
     for index in range(8):
-        server.service.execute("append", {"entries": [], "key": f"k{index}"})
-    assert len(server.service._seen) == 4
-    assert "k7" in server.service._seen and "k0" not in server.service._seen
+        server.service.execute(
+            "append", {"entries": [], "key": f"k{index}", "client": "c1"}
+        )
+    bucket = server.service._seen["c1"]
+    assert len(bucket) == 4
+    assert "k7" in bucket and "k0" not in bucket
+
+
+def test_client_buckets_are_bounded_lru(server, monkeypatch):
+    monkeypatch.setattr("repro.store.server._MAX_IDEMPOTENCY_CLIENTS", 3)
+    for index in range(5):
+        server.service.execute(
+            "append", {"entries": [], "key": "k", "client": f"c{index}"}
+        )
+    assert set(server.service._seen) == {"c2", "c3", "c4"}
+    # touching a bucket refreshes it: c2 survives the next new client, c3 goes
+    server.service.execute("append", {"entries": [], "key": "k", "client": "c2"})
+    server.service.execute("append", {"entries": [], "key": "k", "client": "c9"})
+    assert "c2" in server.service._seen and "c3" not in server.service._seen
 
 
 # -- protocol corners --------------------------------------------------------------

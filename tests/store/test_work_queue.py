@@ -1,0 +1,224 @@
+"""Pure units for the lease queue: LPT order, stealing, idempotence, skew.
+
+:class:`WorkQueue` owns no clock — every method takes ``now`` — so lease
+expiry, work stealing and clock-skewed extends are all exercised here with
+arithmetic instead of sleeps.  The wire layer on top lives in
+``test_queue_server.py``.
+"""
+
+import pytest
+
+from repro.store.queue import Lease, QueueItem, WorkQueue, item_key
+
+
+def _item(fp, cost=0.0, measured=False, env="e", bench="Set/KVStore"):
+    return QueueItem(env=env, fp=fp, bench=bench, cost=cost, measured=measured)
+
+
+# -- enqueue -----------------------------------------------------------------------
+
+
+def test_enqueue_deduplicates_on_env_fp():
+    queue = WorkQueue()
+    assert queue.enqueue([_item("f1"), _item("f2")]) == (2, 0)
+    assert queue.enqueue([_item("f1")]) == (0, 1)
+    assert len(queue) == 2
+    assert queue.counters["enqueued"] == 2
+    assert queue.counters["requeued"] == 1
+
+
+def test_same_fp_under_two_envs_is_two_items():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1", env="a"), _item("f1", env="b")])
+    assert len(queue) == 2
+    assert item_key("a", "f1") != item_key("b", "f1")
+
+
+def test_reenqueue_adopts_a_measured_cost_but_never_degrades_one():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1", cost=5.0, measured=False)])
+    queue.enqueue([_item("f1", cost=0.25, measured=True)])
+    lease, items, _ = queue.lease(1, 10.0, now=0.0)
+    assert items[0].cost == 0.25 and items[0].measured
+    queue.complete(lease.id, [items[0].key])
+
+    queue.enqueue([_item("f2", cost=0.5, measured=True)])
+    queue.enqueue([_item("f2", cost=99.0, measured=False)])  # estimate loses
+    _, items, _ = queue.lease(1, 10.0, now=0.0)
+    assert items[0].cost == 0.5 and items[0].measured
+
+
+def test_reenqueue_retags_the_new_dispatch_without_disturbing_the_lease():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1")], dispatch="d1")
+    lease, _, _ = queue.lease(1, 10.0, now=0.0)
+    queue.enqueue([_item("f1")], dispatch="d2")
+    # the item is still leased — a re-dispatching coordinator must not yank
+    # in-flight work — but the new dispatch's drain poll now counts it
+    assert queue.status("d2")["remaining"] == 1
+    assert queue.status("d2")["leased"] == 1
+    assert queue._items[item_key("e", "f1")].leased_by == lease.id
+
+
+# -- LPT at dequeue ----------------------------------------------------------------
+
+
+def test_lease_issues_most_expensive_first_measured_before_estimated():
+    queue = WorkQueue()
+    queue.enqueue(
+        [
+            _item("cheap-measured", cost=0.1, measured=True),
+            _item("big-estimate", cost=1000.0, measured=False),
+            _item("straggler", cost=2.0, measured=True),
+        ]
+    )
+    _, items, _ = queue.lease(3, 10.0, now=0.0)
+    # measured costs are informative, estimates are guesses: the measured
+    # population sorts first even when an estimate is numerically larger
+    assert [item.fp for item in items] == ["straggler", "cheap-measured", "big-estimate"]
+
+
+def test_equal_costs_tiebreak_on_fingerprint_for_determinism():
+    queue = WorkQueue()
+    queue.enqueue([_item("b"), _item("a"), _item("c")])
+    _, items, _ = queue.lease(3, 10.0, now=0.0)
+    assert [item.fp for item in items] == ["a", "b", "c"]
+
+
+def test_lease_validates_count_and_ttl():
+    queue = WorkQueue()
+    with pytest.raises(ValueError, match="count"):
+        queue.lease(0, 10.0, now=0.0)
+    with pytest.raises(ValueError, match="ttl"):
+        queue.lease(1, 0.0, now=0.0)
+    with pytest.raises(ValueError, match="ttl"):
+        queue.extend("L1", -1.0, now=0.0)
+
+
+def test_an_empty_queue_leases_nothing():
+    queue = WorkQueue()
+    lease, items, reclaimed = queue.lease(4, 10.0, now=0.0)
+    assert lease is None and items == [] and reclaimed == 0
+    assert queue.counters["leases_issued"] == 0
+
+
+# -- expiry and stealing -----------------------------------------------------------
+
+
+def test_expired_leases_are_reclaimed_and_reissued():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1"), _item("f2")])
+    first, items, _ = queue.lease(2, ttl=10.0, now=0.0)
+    assert len(items) == 2
+
+    # before the deadline nothing is stealable
+    lease, items, reclaimed = queue.lease(2, ttl=10.0, now=9.9)
+    assert lease is None and reclaimed == 0
+
+    # at/after the deadline the dead worker's items go back to pending and
+    # are immediately re-issued — work stealing without extra machinery
+    second, items, reclaimed = queue.lease(2, ttl=10.0, now=10.0)
+    assert reclaimed == 2
+    assert {item.fp for item in items} == {"f1", "f2"}
+    assert all(item.attempts == 2 for item in items)
+    assert second.id != first.id
+    assert queue.counters["reclaimed"] == 2
+
+
+def test_a_live_lease_shields_its_items():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1"), _item("f2")])
+    queue.lease(1, ttl=100.0, now=0.0)  # takes one item
+    _, items, _ = queue.lease(2, ttl=100.0, now=50.0)
+    assert len(items) == 1, "only the unleased item is available"
+
+
+# -- complete ----------------------------------------------------------------------
+
+
+def test_complete_is_idempotent():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1")])
+    lease, items, _ = queue.lease(1, 10.0, now=0.0)
+    keys = [item.key for item in items]
+    assert queue.complete(lease.id, keys) == (1, 0)
+    assert queue.complete(lease.id, keys) == (0, 0), "replay removes nothing"
+    assert len(queue) == 0
+    assert queue.counters["completed"] == 1
+
+
+def test_complete_under_a_stolen_lease_counts_stale_but_still_removes():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1")])
+    first, items, _ = queue.lease(1, ttl=1.0, now=0.0)
+    key = items[0].key
+    second, _, _ = queue.lease(1, ttl=10.0, now=2.0)  # steals it
+
+    # the original worker finished late: its verdict is already durable in
+    # the store (if_absent protects the thief's write), so the item leaves
+    # the queue either way
+    assert queue.complete(first.id, [key]) == (1, 1)
+    assert len(queue) == 0
+    assert queue.counters["stale_completes"] == 1
+    # the thief's own complete is then a harmless no-op
+    assert queue.complete(second.id, [key]) == (0, 0)
+
+
+def test_completing_every_key_retires_the_lease():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1"), _item("f2")])
+    lease, items, _ = queue.lease(2, 10.0, now=0.0)
+    queue.complete(lease.id, [items[0].key])
+    assert queue.status()["leases"] == 1
+    queue.complete(lease.id, [items[1].key])
+    assert queue.status()["leases"] == 0
+
+
+# -- extend (clock skew) -----------------------------------------------------------
+
+
+def test_extend_is_server_relative_so_client_skew_is_inert():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1")])
+    lease, _, _ = queue.lease(1, ttl=10.0, now=0.0)
+    # a worker whose own clock is hours off sends only a relative ttl; the
+    # new deadline is computed purely from the server's now
+    assert queue.extend(lease.id, 10.0, now=5.0)
+    assert queue._leases[lease.id].deadline == 15.0
+    # the renewed lease shields the item past the original deadline
+    grant, _, _ = queue.lease(1, 10.0, now=12.0)
+    assert grant is None
+
+
+def test_extend_rejects_unknown_and_expired_leases():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1")])
+    lease, _, _ = queue.lease(1, ttl=10.0, now=0.0)
+    assert not queue.extend("L999", 10.0, now=1.0)
+    assert not queue.extend(lease.id, 10.0, now=10.0), (
+        "a deadline in the past cannot be revived — the items are stealable"
+    )
+    assert queue.counters["extend_rejected"] == 2
+    assert queue.counters["extended"] == 0
+
+
+# -- status ------------------------------------------------------------------------
+
+
+def test_status_filters_by_dispatch_tag():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1"), _item("f2")], dispatch="mine")
+    queue.enqueue([_item("f3")], dispatch="theirs")
+    assert queue.status("mine")["remaining"] == 2
+    assert queue.status("theirs")["remaining"] == 1
+    assert queue.status()["remaining"] == 3
+
+
+def test_status_with_now_reclaims_dead_workers_claims():
+    queue = WorkQueue()
+    queue.enqueue([_item("f1")])
+    queue.lease(1, ttl=1.0, now=0.0)
+    assert queue.status()["leased"] == 1  # no clock: report as-is
+    status = queue.status(now=5.0)
+    assert status["leased"] == 0 and status["pending"] == 1
+    assert status["counters"]["reclaimed"] == 1
